@@ -1,0 +1,112 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A1  greedy weighted-cost scheduling vs FIFO
+//   A2  activation-level re-execution vs losing failed tuples
+//   A3  the Hg pre-abort routine vs burning the hang watchdog
+//   A4  elasticity vs a static fleet
+//   A5  AD4 search effort vs FEB depth (the Table 3 deviation explained)
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/table2.hpp"
+#include "scidock/analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace scidock;
+
+namespace {
+
+wf::SimReport run(const core::Experiment& exp, int cores,
+                  const std::function<void(wf::SimExecutorOptions&)>& tweak) {
+  wf::SimExecutorOptions opts = core::default_sim_options(cores);
+  tweak(opts);
+  return core::run_simulated(exp, cores, nullptr, opts);
+}
+
+}  // namespace
+
+int main() {
+  const int pairs = bench::env_int("SCIDOCK_ABLATION_PAIRS", 2000);
+  bench::print_header("SciDock bench: design-choice ablations",
+                      "Section V.C discussion / DESIGN.md section 5");
+  core::ScidockOptions options;
+  options.engine_mode = core::EngineMode::Adaptive;
+  core::Experiment exp = core::make_experiment(
+      data::table2_receptors(), data::table2_ligands(),
+      static_cast<std::size_t>(pairs), options);
+  std::printf("workload: %d pairs (adaptive AD4/Vina routing)\n\n", pairs);
+
+  // ---- A1: scheduling policy ----
+  std::printf("A1. scheduling policy (TET):\n");
+  for (int cores : {32, 128}) {
+    const auto greedy = run(exp, cores, [](auto& o) { o.scheduler_policy = "greedy-cost"; });
+    const auto fifo = run(exp, cores, [](auto& o) { o.scheduler_policy = "fifo"; });
+    std::printf("  %3d cores: greedy %-10s fifo %-10s (greedy %+.1f%%)\n",
+                cores, human_duration(greedy.total_execution_time_s).c_str(),
+                human_duration(fifo.total_execution_time_s).c_str(),
+                100.0 * (fifo.total_execution_time_s -
+                         greedy.total_execution_time_s) /
+                    fifo.total_execution_time_s);
+  }
+
+  // ---- A2: fault tolerance ----
+  std::printf("\nA2. activation re-execution under the ~10%% failure rate:\n");
+  const auto with_retry = run(exp, 32, [](auto&) {});
+  const auto no_retry = run(exp, 32, [](auto& o) { o.reexecute_failures = false; });
+  std::printf("  re-execution ON : %lld failed attempts retried, %lld pairs lost\n",
+              with_retry.activations_failed, with_retry.tuples_lost);
+  std::printf("  re-execution OFF: %lld pairs lost (%.1f%% of the screen wasted)\n",
+              no_retry.tuples_lost, 100.0 * no_retry.tuples_lost / pairs);
+
+  // ---- A3: Hg pre-abort ----
+  std::printf("\nA3. the Hg detection routine (added after provenance diagnosis):\n");
+  const auto with_fix = run(exp, 32, [](auto&) {});
+  const auto without_fix = run(exp, 32, [](auto& o) { o.preabort_hazards = false; });
+  std::printf("  routine ON : TET %-10s hangs %lld\n",
+              human_duration(with_fix.total_execution_time_s).c_str(),
+              with_fix.activations_hung);
+  std::printf("  routine OFF: TET %-10s hangs %lld (watchdog burned per attempt)\n",
+              human_duration(without_fix.total_execution_time_s).c_str(),
+              without_fix.activations_hung);
+
+  // ---- A4: elasticity ----
+  std::printf("\nA4. elasticity vs a static fleet (start at 2 VMs, cap 16):\n");
+  const auto elastic = run(exp, 8, [](auto& o) {
+    o.elasticity = true;
+    o.min_vms = 1;
+    o.max_vms = 16;
+    o.elastic_vm_type = cloud::vm_type_m3_2xlarge();
+  });
+  const auto static_small = run(exp, 8, [](auto&) {});
+  std::printf("  static 8 cores : TET %-10s cost $%.0f\n",
+              human_duration(static_small.total_execution_time_s).c_str(),
+              static_small.cloud_cost_usd);
+  std::printf("  elastic (<=16 VMs): TET %-10s cost $%.0f peak VMs %d\n",
+              human_duration(elastic.total_execution_time_s).c_str(),
+              elastic.cloud_cost_usd, elastic.peak_alive_vms);
+
+  // ---- A5: AD4 effort vs FEB (native, small subset) ----
+  std::printf("\nA5. AD4 FEB depth vs GA evaluations (native docking, 40 pairs):\n");
+  const std::vector<std::string> recs(data::table2_receptors().begin(),
+                                      data::table2_receptors().begin() + 20);
+  for (long long evals : {1000LL, 3000LL, 10000LL}) {
+    core::ScidockOptions nat;
+    nat.engine_mode = core::EngineMode::ForceAd4;
+    nat.ad4_params.ga_num_evals = evals;
+    core::Experiment nexp = core::make_experiment(recs, {"042", "0E6"}, 0, nat);
+    const wf::NativeReport report = core::run_native(nexp, 1);
+    const auto rows = core::table3_from_relation(report.output);
+    int fav = 0, total = 0;
+    double feb = 0.0;
+    for (const auto& r : rows) {
+      fav += r.favorable;
+      total += r.total_pairs;
+      feb += r.avg_feb_neg * r.favorable;
+    }
+    std::printf("  ga_num_evals %6lld: FEB(-) %2d/%2d  avg FEB(-) %6.2f kcal/mol\n",
+                evals, fav, total, fav ? feb / fav : 0.0);
+  }
+  std::printf("  -> more search deepens AD4's FEB toward the paper's range.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/table2.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::bench {
+
+const std::vector<int>& paper_core_counts() {
+  static const std::vector<int> kCores{2, 4, 8, 16, 32, 64, 96, 128};
+  return kCores;
+}
+
+Sweep run_scaling_sweep(core::EngineMode mode, std::size_t pairs,
+                        const std::vector<int>& cores, std::uint64_t seed) {
+  core::ScidockOptions options;
+  options.engine_mode = mode;
+  core::Experiment exp = core::make_experiment(
+      data::table2_receptors(), data::table2_ligands(), pairs, options);
+
+  Sweep sweep;
+  sweep.engine = mode == core::EngineMode::ForceAd4 ? "AD4" : "Vina";
+
+  std::vector<wf::SimReport> reports;
+  for (int n : cores) {
+    wf::SimExecutorOptions sim_opts = core::default_sim_options(n, seed);
+    reports.push_back(core::run_simulated(exp, n, nullptr, sim_opts));
+  }
+  // Serial baseline: the paper's "best-performing workflow execution on a
+  // single core". A single core pays everything the 2-core run pays
+  // (failures, hang watchdogs, staging) at half the parallelism, so the
+  // 1-core-equivalent TET is 2 x TET(2 cores). (Using only the successful
+  // service-time sum would under-credit the parallel runs, since they too
+  // re-execute the ~10% failed activations.)
+  double serial = 2.0 * reports.front().total_execution_time_s;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    if (cores[i] == 2) serial = 2.0 * reports[i].total_execution_time_s;
+  }
+  sweep.serial_tet_s = serial;
+
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const wf::SimReport& r = reports[i];
+    SweepPoint pt;
+    pt.cores = cores[i];
+    pt.tet_s = r.total_execution_time_s;
+    pt.speedup_vs_serial = serial / r.total_execution_time_s;
+    pt.efficiency = pt.speedup_vs_serial / cores[i];
+    pt.improvement_pct = 100.0 * (1.0 - r.total_execution_time_s / serial);
+    pt.failures = r.activations_failed;
+    pt.hangs = r.activations_hung;
+    pt.sched_overhead_s = r.scheduling_overhead_s;
+    sweep.points.push_back(pt);
+  }
+  return sweep;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_compare(const std::string& what, const std::string& paper,
+                   const std::string& measured) {
+  std::printf("  %-42s paper: %-14s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace scidock::bench

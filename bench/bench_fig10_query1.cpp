@@ -1,0 +1,35 @@
+// Figure 10 / Query 1: per-activity min/max/sum/avg durations, obtained
+// by running the paper's SQL verbatim against the provenance repository
+// after a 1,000-pair execution.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/table2.hpp"
+#include "scidock/analysis.hpp"
+
+int main() {
+  using namespace scidock;
+  bench::print_header("SciDock bench: Query 1 — per-activity statistics",
+                      "Figure 10 (Query 1)");
+
+  const int pairs = bench::env_int("SCIDOCK_Q1_PAIRS", 1000);
+  core::ScidockOptions options;
+  options.engine_mode = core::EngineMode::Adaptive;
+  core::Experiment exp = core::make_experiment(
+      data::table2_receptors(), data::table2_ligands(),
+      static_cast<std::size_t>(pairs), options);
+  prov::ProvenanceStore store;
+  const wf::SimReport report = core::run_simulated(exp, 16, &store);
+  std::printf("executed %d pairs (%lld activations) with provenance capture\n\n",
+              pairs, report.activations_finished);
+
+  const std::string query = core::query1(1);
+  std::printf("SQL> %s\n\n", query.c_str());
+  std::printf("%s\n", store.query(query).to_text().c_str());
+
+  std::printf("shape check (Figure 10): babel has the smallest average;\n"
+              "the docking activities have the largest max and sum; every\n"
+              "row satisfies min <= avg <= max.\n");
+  return 0;
+}

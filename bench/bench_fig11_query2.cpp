@@ -1,0 +1,58 @@
+// Figure 11 / Query 2: names, sizes and locations of the '.dlg' files
+// produced by the workflow, recovered through the provenance repository
+// instead of browsing directories — run on a real (native) execution so
+// the files contain genuine docking output.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/table2.hpp"
+#include "dock/dlg.hpp"
+#include "scidock/analysis.hpp"
+#include "scidock/experiment.hpp"
+
+int main() {
+  using namespace scidock;
+  bench::print_header("SciDock bench: Query 2 — locating docking outputs",
+                      "Figure 11 (Query 2) + Figure 12's best-pair lookup");
+
+  const int receptors = bench::env_int("SCIDOCK_Q2_RECEPTORS", 12);
+  core::ScidockOptions options;
+  options.engine_mode = core::EngineMode::ForceAd4;  // .dlg outputs
+  const std::vector<std::string> recs(
+      data::table2_receptors().begin(),
+      data::table2_receptors().begin() + receptors);
+  core::Experiment exp =
+      core::make_experiment(recs, {"042", "0E6"}, 0, options);
+  const wf::NativeReport report = core::run_native(exp, 1);
+  std::printf("native run: %zu pairs docked, %lld activations, %.1f s wall\n\n",
+              report.output.size(), report.activations_finished,
+              report.wall_seconds);
+
+  const std::string query = core::query2();
+  std::printf("SQL> %s\n\n", query.c_str());
+  const sql::ResultSet rs = exp.prov->query(query + " LIMIT 10");
+  std::printf("%s\n", rs.to_text().c_str());
+
+  // Figure 12 flavour: fetch the best pair's .dlg and show its summary.
+  double best_feb = 1e9;
+  std::string best_file;
+  for (const wf::Tuple& t : report.output.tuples()) {
+    const double feb = t.get_double("feb", 1e9);
+    if (feb < best_feb) {
+      best_feb = feb;
+      best_file = t.require("dlg_file");
+    }
+  }
+  if (!best_file.empty()) {
+    const dock::DlgSummary summary =
+        dock::parse_docking_log(exp.fs->read(best_file));
+    std::printf("best interaction: %s-%s  FEB %.2f kcal/mol  (from %s)\n",
+                summary.receptor.c_str(), summary.ligand.c_str(),
+                summary.best_feb, best_file.c_str());
+  }
+  std::printf("\nshape check (Figure 11): every returned fname ends in .dlg,\n"
+              "with its size and producing activity/workflow, no directory\n"
+              "browsing required.\n");
+  return 0;
+}

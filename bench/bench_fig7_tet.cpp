@@ -1,0 +1,56 @@
+// Figure 7: total execution time of SciDock (AD4 and Vina) from 2 to 128
+// virtual cores over the 10,000-pair dataset, plus the Section V.C / VI
+// headline numbers (TET at 2 and 128 cores, % improvement at 32 cores).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace scidock;
+  bench::print_header("SciDock bench: total execution time vs virtual cores",
+                      "Figure 7 (+ headline TETs from Sections I/V/VI)");
+
+  const int pairs = bench::env_int("SCIDOCK_SCALING_PAIRS", 9996);
+  std::printf("workload: %d receptor-ligand pairs on the cloud simulator\n\n",
+              pairs);
+
+  bench::Sweep ad4, vina;
+  for (const auto mode : {core::EngineMode::ForceAd4, core::EngineMode::ForceVina}) {
+    const bench::Sweep sweep = bench::run_scaling_sweep(
+        mode, static_cast<std::size_t>(pairs), bench::paper_core_counts());
+    std::printf("--- SciDock with %s ---\n", sweep.engine.c_str());
+    std::printf("%6s %14s %14s\n", "cores", "TET", "TET (s)");
+    for (const bench::SweepPoint& pt : sweep.points) {
+      std::printf("%6d %14s %14.0f\n", pt.cores,
+                  human_duration(pt.tet_s).c_str(), pt.tet_s);
+    }
+    std::printf("\n");
+    (mode == core::EngineMode::ForceAd4 ? ad4 : vina) = sweep;
+  }
+
+  auto point = [](const bench::Sweep& s, int cores) {
+    for (const bench::SweepPoint& pt : s.points) {
+      if (pt.cores == cores) return pt;
+    }
+    return bench::SweepPoint{};
+  };
+
+  std::printf("paper-vs-measured (shape targets):\n");
+  bench::print_compare("AD4  TET @ 2 cores", "12.5 d",
+                       human_duration(point(ad4, 2).tet_s));
+  bench::print_compare("AD4  TET @ 128 cores", "11.9 h",
+                       human_duration(point(ad4, 128).tet_s));
+  bench::print_compare("Vina TET @ 2 cores", "~9 d",
+                       human_duration(point(vina, 2).tet_s));
+  bench::print_compare("Vina TET @ 128 cores", "7.7 h",
+                       human_duration(point(vina, 128).tet_s));
+  bench::print_compare("AD4  improvement @ 32 cores vs serial", "95.4 %",
+                       strformat("%.1f %%", point(ad4, 32).improvement_pct));
+  bench::print_compare("Vina improvement @ 32 cores vs serial", "96.1 %",
+                       strformat("%.1f %%", point(vina, 32).improvement_pct));
+  bench::print_compare("Vina workflow faster than AD4 workflow", "yes",
+                       point(vina, 2).tet_s < point(ad4, 2).tet_s ? "yes" : "NO");
+  return 0;
+}

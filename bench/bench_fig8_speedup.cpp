@@ -1,0 +1,52 @@
+// Figure 8: speedup of SciDock vs virtual cores — near-linear to 32
+// cores, ~13x at 16 cores, degradation beyond 32 as the greedy
+// scheduler's planning time stops being hidden by per-core work.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace scidock;
+  bench::print_header("SciDock bench: speedup vs virtual cores", "Figure 8");
+
+  const int pairs = bench::env_int("SCIDOCK_SCALING_PAIRS", 9996);
+  std::printf("workload: %d pairs; speedup vs the 1-core-equivalent serial "
+              "execution\n\n", pairs);
+
+  std::printf("%6s | %18s | %18s\n", "cores", "speedup (AD4)", "speedup (Vina)");
+  std::printf("-------+--------------------+-------------------\n");
+  const bench::Sweep ad4 = bench::run_scaling_sweep(
+      core::EngineMode::ForceAd4, static_cast<std::size_t>(pairs),
+      bench::paper_core_counts());
+  const bench::Sweep vina = bench::run_scaling_sweep(
+      core::EngineMode::ForceVina, static_cast<std::size_t>(pairs),
+      bench::paper_core_counts());
+  for (std::size_t i = 0; i < ad4.points.size(); ++i) {
+    std::printf("%6d | %18.1f | %18.1f\n", ad4.points[i].cores,
+                ad4.points[i].speedup_vs_serial,
+                vina.points[i].speedup_vs_serial);
+  }
+
+  auto speedup_at = [](const bench::Sweep& s, int cores) {
+    for (const bench::SweepPoint& pt : s.points) {
+      if (pt.cores == cores) return pt.speedup_vs_serial;
+    }
+    return 0.0;
+  };
+
+  std::printf("\npaper-vs-measured (shape targets):\n");
+  bench::print_compare("speedup @ 16 cores", "~13x",
+                       strformat("AD4 %.1fx / Vina %.1fx",
+                                 speedup_at(ad4, 16), speedup_at(vina, 16)));
+  bench::print_compare("near-linear 2 -> 32 cores", "yes",
+                       speedup_at(ad4, 32) / 32.0 > 0.7 ? "yes" : "NO");
+  bench::print_compare(
+      "degradation past 32 cores but still gaining", "yes",
+      (speedup_at(ad4, 128) > speedup_at(ad4, 96) &&
+       speedup_at(ad4, 128) / 128.0 < speedup_at(ad4, 32) / 32.0)
+          ? "yes"
+          : "NO");
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Micro-kernel benchmarks (google-benchmark): the hot paths underneath
+// the workflow — grid generation, energy evaluation, neighbour queries,
+// torsion application, parsers and the SQL engine.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generator.hpp"
+#include "dock/autogrid.hpp"
+#include "mol/charges.hpp"
+#include "dock/energy.hpp"
+#include "dock/vina.hpp"
+#include "mol/io_pdb.hpp"
+#include "mol/io_pdbqt.hpp"
+#include "mol/prepare.hpp"
+#include "scidock/analysis.hpp"
+#include "scidock/scidock.hpp"
+#include "sql/engine.hpp"
+#include "util/rng.hpp"
+#include "wf/spec.hpp"
+#include "xml/xml.hpp"
+
+namespace {
+
+using namespace scidock;
+
+data::GeneratorOptions bench_opts() {
+  data::GeneratorOptions o;
+  o.min_residues = 24;
+  o.max_residues = 48;
+  o.hg_fraction = 0.0;
+  return o;
+}
+
+struct DockFixture {
+  mol::PreparedReceptor receptor;
+  mol::PreparedLigand ligand;
+  dock::GridBox box;
+
+  static const DockFixture& get() {
+    static const DockFixture fixture = [] {
+      const auto opts = bench_opts();
+      mol::PreparedReceptor rec =
+          mol::prepare_receptor(data::make_receptor("2HHN", opts));
+      mol::PreparedLigand lig = mol::prepare_ligand(data::make_ligand("0E6"));
+      dock::GridBox box =
+          dock::GridBox::around(rec.molecule.center(), 10.0, 0.55);
+      return DockFixture{std::move(rec), std::move(lig), box};
+    }();
+    return fixture;
+  }
+};
+
+void BM_AutogridMapGeneration(benchmark::State& state) {
+  const DockFixture& fx = DockFixture::get();
+  const dock::GridMapCalculator calc(fx.receptor.molecule);
+  mol::Molecule lig = fx.ligand.molecule;
+  lig.perceive();
+  const auto types = lig.ad_types_present();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.calculate(fx.box, types));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fx.box.total_points()));
+}
+BENCHMARK(BM_AutogridMapGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_Ad4GridEnergyEvaluation(benchmark::State& state) {
+  const DockFixture& fx = DockFixture::get();
+  const dock::GridMapCalculator calc(fx.receptor.molecule);
+  mol::Molecule lig = fx.ligand.molecule;
+  lig.perceive();
+  const dock::GridMapSet maps = calc.calculate(fx.box, lig.ad_types_present());
+  const dock::Ad4EnergyModel model(maps, fx.ligand);
+  Rng rng(1);
+  dock::DockPose pose = dock::DockPose::random(
+      fx.box, model.reference_center(), fx.ligand.torsions.torsion_count(), rng);
+  for (auto _ : state) {
+    pose.mutate(0.1, 0.05, 0.1, rng);
+    benchmark::DoNotOptimize(model(pose));
+  }
+}
+BENCHMARK(BM_Ad4GridEnergyEvaluation)->Unit(benchmark::kMicrosecond);
+
+void BM_VinaDirectEnergyEvaluation(benchmark::State& state) {
+  const DockFixture& fx = DockFixture::get();
+  const dock::VinaEnergyModel model(fx.receptor, fx.ligand, fx.box);
+  Rng rng(1);
+  dock::DockPose pose = dock::DockPose::random(
+      fx.box, model.reference_center(), fx.ligand.torsions.torsion_count(), rng);
+  for (auto _ : state) {
+    pose.mutate(0.1, 0.05, 0.1, rng);
+    benchmark::DoNotOptimize(model(pose));
+  }
+}
+BENCHMARK(BM_VinaDirectEnergyEvaluation)->Unit(benchmark::kMicrosecond);
+
+void BM_NeighborListQuery(benchmark::State& state) {
+  const DockFixture& fx = DockFixture::get();
+  const dock::NeighborList nl(fx.receptor.molecule, 8.0);
+  Rng rng(2);
+  double acc = 0.0;
+  for (auto _ : state) {
+    const mol::Vec3 q{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                      rng.uniform(-10, 10)};
+    nl.for_each_within(q, [&acc](int, double d2) { acc += d2; });
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_NeighborListQuery);
+
+void BM_TorsionTreeApply(benchmark::State& state) {
+  const DockFixture& fx = DockFixture::get();
+  const auto ref = fx.ligand.molecule.coordinates();
+  Rng rng(3);
+  dock::DockPose pose = dock::DockPose::random(
+      fx.box, {0, 0, 0}, fx.ligand.torsions.torsion_count(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.ligand.torsions.apply(ref, pose.rigid, pose.torsions));
+  }
+}
+BENCHMARK(BM_TorsionTreeApply);
+
+void BM_PdbParse(benchmark::State& state) {
+  const std::string text = mol::write_pdb(data::make_receptor("1HUC", bench_opts()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mol::read_pdb(text, "1HUC"));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_PdbParse)->Unit(benchmark::kMicrosecond);
+
+void BM_PdbqtLigandRoundTrip(benchmark::State& state) {
+  const DockFixture& fx = DockFixture::get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mol::read_pdbqt(fx.ligand.pdbqt));
+  }
+}
+BENCHMARK(BM_PdbqtLigandRoundTrip);
+
+void BM_GasteigerCharges(benchmark::State& state) {
+  const mol::Molecule lig = data::make_ligand("042");
+  for (auto _ : state) {
+    mol::Molecule copy = lig;
+    mol::assign_gasteiger_charges(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_GasteigerCharges);
+
+void BM_XmlSpecParse(benchmark::State& state) {
+  const std::string xml = wf::save_spec(core::scidock_workflow_def());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wf::load_spec(xml));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlSpecParse);
+
+void BM_SqlQuery1OverProvenance(benchmark::State& state) {
+  // A provenance store with ~7k activation rows, as after a 1k-pair run.
+  prov::ProvenanceStore store;
+  const long long wkfid = store.begin_workflow("SciDock", "", "/x/", 0.0);
+  Rng rng(7);
+  std::vector<long long> actids;
+  for (const char* tag : {"babel", "prepligand", "prepreceptor", "gpfprep",
+                          "autogrid", "dockfilter", "autodock4"}) {
+    actids.push_back(store.register_activity(wkfid, tag, "./cmd", "MAP"));
+  }
+  double t = 0.0;
+  for (int i = 0; i < 7000; ++i) {
+    const long long id = store.begin_activation(
+        actids[static_cast<std::size_t>(i) % actids.size()], wkfid, t, 1, "p");
+    t += rng.uniform(0.5, 3.0);
+    store.end_activation(id, t, prov::kStatusFinished, 0, 1);
+  }
+  const std::string query = core::query1(wkfid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(query));
+  }
+}
+BENCHMARK(BM_SqlQuery1OverProvenance)->Unit(benchmark::kMillisecond);
+
+void BM_SolisWetsLocalSearch(benchmark::State& state) {
+  const DockFixture& fx = DockFixture::get();
+  const dock::VinaEnergyModel model(fx.receptor, fx.ligand, fx.box);
+  Rng rng(5);
+  for (auto _ : state) {
+    dock::DockPose pose = dock::DockPose::random(
+        fx.box, model.reference_center(), fx.ligand.torsions.torsion_count(),
+        rng);
+    double energy = 0.0;
+    benchmark::DoNotOptimize(dock::solis_wets(pose, model, rng, 30, energy));
+  }
+}
+BENCHMARK(BM_SolisWetsLocalSearch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

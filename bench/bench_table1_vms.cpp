@@ -1,0 +1,25 @@
+// Table 1: characteristics of the VM types used by the virtual cluster.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cloud/vm.hpp"
+
+int main() {
+  using namespace scidock;
+  bench::print_header("SciDock bench: VM catalogue", "Table 1");
+  std::printf("%-12s | %7s | %-20s | %6s | %8s\n", "Instance Type", "# cores",
+              "Physical Processor", "speed", "$/hour");
+  std::printf("-------------+---------+----------------------+--------+---------\n");
+  for (const cloud::VmType& t : cloud::vm_catalogue()) {
+    std::printf("%-12s | %7d | %-20s | %6.2f | %8.3f\n", t.name.c_str(),
+                t.cores, t.physical_processor.c_str(), t.speed_factor,
+                t.hourly_cost_usd);
+  }
+  std::printf("\n");
+  bench::print_compare("m3.xlarge cores", "4", "4");
+  bench::print_compare("m3.2xlarge cores", "8", "8");
+  bench::print_compare("physical processor", "Intel Xeon E5-2670",
+                       cloud::vm_type_m3_xlarge().physical_processor);
+  return 0;
+}

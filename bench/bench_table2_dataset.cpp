@@ -1,0 +1,61 @@
+// Table 2: the 238-receptor x 42-ligand Peptidase_CA dataset, staged
+// through the synthetic generator and summarised.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/generator.hpp"
+#include "data/table2.hpp"
+#include "mol/torsion.hpp"
+#include "util/stats.hpp"
+#include "vfs/vfs.hpp"
+
+int main() {
+  using namespace scidock;
+  bench::print_header("SciDock bench: Table 2 dataset",
+                      "Table 2 (receptors & ligands of clan CL0125)");
+
+  const auto& receptors = data::table2_receptors();
+  const auto& ligands = data::table2_ligands();
+  bench::print_compare("receptors", "238", std::to_string(receptors.size()));
+  bench::print_compare("ligands", "42", std::to_string(ligands.size()));
+  bench::print_compare("receptor-ligand pairs", "10,000 (238 x 42 = 9,996)",
+                       std::to_string(receptors.size() * ligands.size()));
+
+  // Generate every structure and summarise (also a determinism smoke run).
+  data::GeneratorOptions opts;
+  RunningStats rec_atoms, rec_residues, lig_atoms, lig_torsions;
+  int hg = 0, to_vina = 0;
+  for (const std::string& code : receptors) {
+    const mol::Molecule m = data::make_receptor(code, opts);
+    rec_atoms.add(m.atom_count());
+    rec_residues.add(data::receptor_residue_count(code, opts));
+    if (data::receptor_has_hg(code, opts)) ++hg;
+    if (data::receptor_residue_count(code, opts) > data::vina_size_threshold(opts)) {
+      ++to_vina;
+    }
+  }
+  for (const std::string& code : ligands) {
+    mol::Molecule m = data::make_ligand(code);
+    lig_atoms.add(m.heavy_atom_count());
+    m.perceive();
+    lig_torsions.add(mol::TorsionTree::build(m).torsion_count());
+  }
+  std::printf("\nreceptors: atoms %.0f..%.0f (mean %.0f), residues %.0f..%.0f\n",
+              rec_atoms.min(), rec_atoms.max(), rec_atoms.mean(),
+              rec_residues.min(), rec_residues.max());
+  std::printf("ligands:   heavy atoms %.0f..%.0f (mean %.1f), torsions mean %.1f\n",
+              lig_atoms.min(), lig_atoms.max(), lig_atoms.mean(),
+              lig_torsions.mean());
+  std::printf("routing:   %d receptors (%.0f%%) above the size threshold -> Vina\n",
+              to_vina, 100.0 * to_vina / receptors.size());
+  std::printf("hazards:   %d receptors carry Hg (hang the real preparation tools)\n",
+              hg);
+
+  // Stage onto the shared filesystem, as activity 0 of every experiment.
+  vfs::SharedFileSystem fs;
+  const int staged = data::stage_dataset(fs, "/root/exp_SciDock", receptors, ligands);
+  std::printf("staged:    %d files, %.1f MB on the shared filesystem\n", staged,
+              fs.total_bytes() / 1.0e6);
+  return 0;
+}

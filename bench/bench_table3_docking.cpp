@@ -1,0 +1,90 @@
+// Table 3: docking-quality statistics for the first 1,000 receptor-ligand
+// pairs (238 receptors x ligands 042/074/0D6/0E6) — favourable-interaction
+// counts, average FEB and average RMSD for SciDock with AD4 and with Vina.
+//
+// This bench runs the *real* docking engines natively; the default
+// receptor subset keeps the run to a few minutes on one core. Set
+// SCIDOCK_T3_RECEPTORS=238 for the paper's full first-1,000-pairs set.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/table2.hpp"
+#include "scidock/analysis.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace scidock;
+  bench::print_header("SciDock bench: docking results for the first pairs",
+                      "Table 3");
+
+  const int n_receptors =
+      std::min(bench::env_int("SCIDOCK_T3_RECEPTORS", 60),
+               static_cast<int>(data::table2_receptors().size()));
+  const std::vector<std::string> receptors(
+      data::table2_receptors().begin(),
+      data::table2_receptors().begin() + n_receptors);
+  const auto& ligands = data::table3_ligands();
+  std::printf("workload: %d receptors x %zu ligands = %zu pairs per engine "
+              "(SCIDOCK_T3_RECEPTORS=238 for the paper's full set)\n\n",
+              n_receptors, ligands.size(), receptors.size() * ligands.size());
+
+  std::vector<core::Table3Row> ad4_rows, vina_rows;
+  for (const auto mode : {core::EngineMode::ForceAd4, core::EngineMode::ForceVina}) {
+    core::ScidockOptions options;
+    options.engine_mode = mode;
+    core::Experiment exp = core::make_experiment(receptors, ligands, 0, options);
+    const auto t0 = std::chrono::steady_clock::now();
+    const wf::NativeReport report = core::run_native(exp, 1);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("SciDock with %s: %zu pairs docked (%lld lost to Hg), %.0f s\n",
+                mode == core::EngineMode::ForceAd4 ? "AD4" : "Vina",
+                report.output.size(), report.tuples_lost, wall);
+    auto& rows = mode == core::EngineMode::ForceAd4 ? ad4_rows : vina_rows;
+    rows = core::table3_from_relation(report.output);
+  }
+
+  std::printf("\n%s\n", core::render_table3(ad4_rows, vina_rows).c_str());
+
+  int fav_ad4 = 0, fav_vina = 0, total = 0;
+  double rmsd_ad4 = 0, rmsd_vina = 0, feb_ad4 = 0, feb_vina = 0;
+  for (const auto& r : ad4_rows) {
+    fav_ad4 += r.favorable;
+    total += r.total_pairs;
+    rmsd_ad4 += r.avg_rmsd / ad4_rows.size();
+    feb_ad4 += r.avg_feb_neg / ad4_rows.size();
+  }
+  for (const auto& r : vina_rows) {
+    fav_vina += r.favorable;
+    rmsd_vina += r.avg_rmsd / vina_rows.size();
+    feb_vina += r.avg_feb_neg / vina_rows.size();
+  }
+  const double scale = total > 0 ? 1000.0 / total : 0.0;
+
+  std::printf("paper-vs-measured (shape targets, scaled to 1,000 pairs):\n");
+  bench::print_compare("favourable FEB(-) with AD4", "287 / 1000",
+                       strformat("%.0f / 1000", fav_ad4 * scale));
+  bench::print_compare("favourable FEB(-) with Vina", "355 / 1000",
+                       strformat("%.0f / 1000", fav_vina * scale));
+  bench::print_compare("Vina finds more FEB(-) than AD4", "yes",
+                       fav_vina >= fav_ad4 ? "yes" : "NO");
+  bench::print_compare("avg FEB(-) AD4", "-4.9 .. -8.4 kcal/mol",
+                       strformat("%.1f kcal/mol", feb_ad4));
+  bench::print_compare("avg FEB(-) Vina", "-4.5 .. -5.7 kcal/mol",
+                       strformat("%.1f kcal/mol", feb_vina));
+  bench::print_compare("avg RMSD AD4 (vs reference frame)", "53 .. 57 A",
+                       strformat("%.1f A", rmsd_ad4));
+  bench::print_compare("avg RMSD Vina (between modes)", "9 .. 10 A",
+                       strformat("%.1f A", rmsd_vina));
+  bench::print_compare("AD4 RMSD >> Vina RMSD", "yes",
+                       rmsd_ad4 > 3.0 * rmsd_vina ? "yes" : "NO");
+  std::printf(
+      "\nknown deviation (see EXPERIMENTS.md): our AD4 runs the LGA at\n"
+      "~1000x fewer energy evaluations than the real tool, so its mean\n"
+      "FEB is shallower than Vina's here, while the paper reports the\n"
+      "opposite ordering; bench_ablation_scheduler shows FEB deepening\n"
+      "with ga_num_evals.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// elastic_cloud_run — SciCumulus' adaptive-execution features on the
+// cloud simulator: a 10,000-pair campaign replayed with a static fleet
+// and with the elasticity controller acquiring/releasing VMs against the
+// queue, comparing makespan and cloud cost; plus the XML workflow
+// specification round trip (paper Figure 2).
+
+#include <cstdio>
+
+#include "data/table2.hpp"
+#include "scidock/experiment.hpp"
+#include "util/strings.hpp"
+#include "wf/spec.hpp"
+
+int main() {
+  using namespace scidock;
+
+  // The workflow definition as SciCumulus would load it from XML.
+  const wf::WorkflowDef def = core::scidock_workflow_def();
+  const std::string xml = wf::save_spec(def);
+  std::printf("SciDock XML specification (%zu activities, excerpt):\n",
+              def.activities.size());
+  std::printf("%s...\n\n", xml.substr(0, 460).c_str());
+  const wf::WorkflowDef parsed = wf::load_spec(xml);
+  std::printf("round-trip parse: workflow '%s', %zu activities OK\n\n",
+              parsed.tag.c_str(), parsed.activities.size());
+
+  core::ScidockOptions options;
+  core::Experiment exp = core::make_experiment(
+      data::table2_receptors(), data::table2_ligands(), 10000, options);
+
+  // Static fleet: 4 x m3.2xlarge = 32 cores for the whole run.
+  wf::SimExecutorOptions fixed = core::default_sim_options(32);
+  const wf::SimReport r_static = core::run_simulated(exp, 32, nullptr, fixed);
+
+  // Elastic: start with one VM, let the controller scale to at most 16
+  // m3.2xlarge (128 cores) while the queue is deep, release when idle.
+  wf::SimExecutorOptions elastic = core::default_sim_options(8);
+  elastic.elasticity = true;
+  elastic.min_vms = 1;
+  elastic.max_vms = 16;
+  elastic.elastic_vm_type = cloud::vm_type_m3_2xlarge();
+  elastic.elasticity_period_s = 300.0;
+  const wf::SimReport r_elastic = core::run_simulated(exp, 8, nullptr, elastic);
+
+  std::printf("10,000-pair campaign (adaptive AD4/Vina routing):\n\n");
+  std::printf("%-24s %12s %12s %10s %10s\n", "configuration", "TET",
+              "cloud cost", "peak VMs", "failures");
+  std::printf("%-24s %12s %11.0f$ %10d %10lld\n", "static 32 cores",
+              human_duration(r_static.total_execution_time_s).c_str(),
+              r_static.cloud_cost_usd, r_static.peak_alive_vms,
+              r_static.activations_failed);
+  std::printf("%-24s %12s %11.0f$ %10d %10lld\n", "elastic (1..16 VMs)",
+              human_duration(r_elastic.total_execution_time_s).c_str(),
+              r_elastic.cloud_cost_usd, r_elastic.peak_alive_vms,
+              r_elastic.activations_failed);
+
+  std::printf("\nthe elastic run trades peak capacity for queue-driven\n"
+              "acquisition — SciCumulus' \"adapts the number of execution\n"
+              "resources according to the current load\" (Section I).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// provenance_analysis — the paper's second contribution in action: run a
+// screening, then answer questions with SQL against the PROV-Wf
+// repository instead of browsing result directories: execution
+// statistics (Query 1), output files (Query 2), failure forensics (the
+// Hg diagnosis of Section V.C), and runtime steering.
+
+#include <cstdio>
+
+#include "data/table2.hpp"
+#include "scidock/analysis.hpp"
+#include "scidock/experiment.hpp"
+
+int main() {
+  using namespace scidock;
+
+  // A 500-pair screening on the 16-core simulated cluster with full
+  // provenance capture (every attempt, file and extracted value).
+  core::ScidockOptions options;
+  core::Experiment exp = core::make_experiment(
+      data::table2_receptors(), data::table2_ligands(), 500, options);
+  prov::ProvenanceStore store;
+  const wf::SimReport report = core::run_simulated(exp, 16, &store);
+  std::printf("executed 500 pairs: %lld activations, %lld failures, "
+              "%lld hangs aborted\n",
+              report.activations_finished, report.activations_failed,
+              report.activations_hung);
+
+  // --- Query 1: execution statistics per activity -------------------
+  std::printf("\n### Query 1 — \"Obtain the TET and statistical averages "
+              "related to the SciDock executions\"\n\n");
+  std::printf("%s\n", store.query(core::query1(1)).to_text().c_str());
+
+  // --- failure forensics: which inputs keep failing? ----------------
+  std::printf("### forensics — activations that needed re-execution, "
+              "grouped by activity\n\n");
+  std::printf("%s\n",
+              store
+                  .query("SELECT a.tag, count(*) "
+                         "FROM hactivity a, hactivation t "
+                         "WHERE a.actid = t.actid AND t.status = 'FAILED' "
+                         "GROUP BY a.tag ORDER BY count(*) DESC")
+                  .to_text()
+                  .c_str());
+
+  // The Hg diagnosis: aborted (looping-state) activations concentrate on
+  // specific receptor pairs — exactly how the authors found the Hg bug.
+  std::printf("### forensics — the 'looping state' pairs (Hg receptors)\n\n");
+  std::printf("%s\n",
+              store
+                  .query("SELECT t.workload, count(*) "
+                         "FROM hactivation t WHERE t.status = 'ABORTED' "
+                         "GROUP BY t.workload ORDER BY count(*) DESC LIMIT 8")
+                  .to_text()
+                  .c_str());
+
+  // --- steering-style live view -------------------------------------
+  std::printf("### steering — longest activations of the run\n\n");
+  std::printf("%s\n",
+              store
+                  .query("SELECT a.tag, t.workload, "
+                         "extract('epoch' from (t.endtime - t.starttime)) dur "
+                         "FROM hactivity a, hactivation t "
+                         "WHERE a.actid = t.actid AND t.status = 'FINISHED' "
+                         "ORDER BY dur DESC LIMIT 5")
+                  .to_text()
+                  .c_str());
+
+  // --- cost accounting ------------------------------------------------
+  std::printf("TET %.1f h on 16 cores; simulated cloud bill $%.2f\n",
+              report.total_execution_time_s / 3600.0, report.cloud_cost_usd);
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "cloud/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::cloud {
+
+CostModel CostModel::scidock_default() {
+  // Means chosen so the AD4 chain (babel..autodock4) totals ~216 s/pair and
+  // the Vina chain (babel..autodockvina) ~155 s/pair, matching the paper's
+  // 2-core TETs over 10,000 pairs; the docking step dominates (Figure 6),
+  // and receptor preparation averages ~10 s (Section V.C).
+  CostModel model;
+  model.costs_ = {
+      {"babel", 2.4, 0.55, 0.2},
+      {"prepligand", 5.0, 0.60, 0.3},
+      {"prepreceptor", 10.0, 0.55, 0.5},
+      {"gpfprep", 20.0, 0.45, 1.0},
+      {"autogrid", 25.0, 0.60, 1.0},
+      {"dockfilter", 1.0, 0.35, 0.05},
+      {"dpfprep", 8.0, 0.45, 0.3},
+      {"confprep", 3.0, 0.45, 0.2},
+      {"autodock4", 107.0, 0.80, 5.0},
+      {"autodockvina", 52.0, 0.80, 3.0},
+  };
+  return model;
+}
+
+void CostModel::set_cost(ActivityCost cost) {
+  for (ActivityCost& c : costs_) {
+    if (iequals(c.tag, cost.tag)) {
+      c = std::move(cost);
+      return;
+    }
+  }
+  costs_.push_back(std::move(cost));
+}
+
+const ActivityCost& CostModel::cost(std::string_view tag) const {
+  for (const ActivityCost& c : costs_) {
+    if (iequals(c.tag, tag)) return c;
+  }
+  throw NotFoundError("activity cost", tag);
+}
+
+bool CostModel::has(std::string_view tag) const {
+  return std::any_of(costs_.begin(), costs_.end(),
+                     [tag](const ActivityCost& c) { return iequals(c.tag, tag); });
+}
+
+double CostModel::sample(std::string_view tag, double workload_scale,
+                         double vm_slowdown, Rng& rng) const {
+  const ActivityCost& c = cost(tag);
+  // Parameterise the lognormal so its *mean* equals c.mean_s:
+  // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+  const double mu = std::log(c.mean_s) - c.sigma * c.sigma / 2.0;
+  const double base = rng.lognormal(mu, c.sigma);
+  return std::max(c.min_s, base * workload_scale * vm_slowdown);
+}
+
+double CostModel::expected(std::string_view tag, double workload_scale,
+                           double vm_slowdown) const {
+  return cost(tag).mean_s * workload_scale * vm_slowdown;
+}
+
+double CostModel::scheduling_overhead(std::size_t queued_activations,
+                                      std::size_t available_vms) const {
+  return scheduling_overhead_base +
+         scheduling_overhead_coefficient *
+             static_cast<double>(queued_activations) *
+             static_cast<double>(available_vms);
+}
+
+double CostModel::chain_mean(const std::vector<std::string>& tags) const {
+  double total = 0.0;
+  for (const std::string& tag : tags) total += cost(tag).mean_s;
+  return total;
+}
+
+}  // namespace scidock::cloud

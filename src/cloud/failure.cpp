@@ -1,0 +1,15 @@
+#include "cloud/failure.hpp"
+
+namespace scidock::cloud {
+
+ActivationOutcome FailureModel::sample(Rng& rng, bool deterministic_hang) const {
+  if (deterministic_hang) return ActivationOutcome::Hang;
+  const double u = rng.uniform();
+  if (u < opts_.hang_probability) return ActivationOutcome::Hang;
+  if (u < opts_.hang_probability + opts_.failure_probability) {
+    return ActivationOutcome::Failure;
+  }
+  return ActivationOutcome::Success;
+}
+
+}  // namespace scidock::cloud

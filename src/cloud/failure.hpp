@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file failure.hpp
+/// Failure injection for the simulated executor. The paper reports ~10 %
+/// of SciDock activations fail and must be re-executed, and that certain
+/// inputs (Hg-containing receptors, "problematic" ligands) leave the real
+/// tools in an infinite "looping state" that only aborts on timeout.
+
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace scidock::cloud {
+
+enum class ActivationOutcome {
+  Success,
+  Failure,  ///< crashes with an error; re-executed immediately
+  Hang,     ///< looping state; aborted after hang_timeout, then re-executed
+};
+
+struct FailureModelOptions {
+  double failure_probability = 0.10;  ///< the paper's ~10 % failure rate
+  double hang_probability = 0.005;    ///< random looping-state incidence
+  double hang_timeout_s = 1800.0;     ///< watchdog before abort (30 min)
+  int max_attempts = 5;               ///< give up after this many tries
+};
+
+class FailureModel {
+ public:
+  explicit FailureModel(FailureModelOptions opts = {}) : opts_(opts) {}
+
+  /// Draw the outcome of one activation attempt. `deterministic_hang`
+  /// forces a hang regardless of the dice (the Hg-receptor case — the
+  /// input always hangs the tool, it is not random).
+  ActivationOutcome sample(Rng& rng, bool deterministic_hang = false) const;
+
+  const FailureModelOptions& options() const { return opts_; }
+
+ private:
+  FailureModelOptions opts_;
+};
+
+}  // namespace scidock::cloud

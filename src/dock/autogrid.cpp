@@ -1,0 +1,145 @@
+#include "dock/autogrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::dock {
+
+GridMapCalculator::GridMapCalculator(const mol::Molecule& receptor,
+                                     AutogridOptions opts)
+    : receptor_(receptor), opts_(opts), neighbors_(receptor, opts.cutoff) {
+  SCIDOCK_ASSERT_MSG(receptor.perceived(), "prepare the receptor before AutoGrid");
+}
+
+GridMapSet GridMapCalculator::calculate(
+    const GridBox& box, const std::vector<mol::AdType>& ligand_types) const {
+  GridMapSet set;
+  set.box = box;
+  set.electrostatic = GridMap(box, "e");
+  set.desolvation = GridMap(box, "d");
+  for (mol::AdType t : ligand_types) {
+    set.affinity.emplace_back(t, GridMap(box, std::string(mol::ad_type_name(t))));
+  }
+
+  const mol::Vec3 origin = box.origin();
+  constexpr double kCoulomb = 332.06;
+  constexpr double kSigma = 3.6;
+
+  for (int iz = 0; iz < box.npts[2]; ++iz) {
+    for (int iy = 0; iy < box.npts[1]; ++iy) {
+      for (int ix = 0; ix < box.npts[0]; ++ix) {
+        const mol::Vec3 p{origin.x + ix * box.spacing,
+                          origin.y + iy * box.spacing,
+                          origin.z + iz * box.spacing};
+        double e_elec = 0.0;
+        double e_desolv = 0.0;
+        // Accumulate per-type affinities in a dense temp indexed like
+        // set.affinity to avoid a map lookup per (point, atom).
+        std::vector<double> e_aff(ligand_types.size(), 0.0);
+
+        neighbors_.for_each_within(p, [&](int ai, double d2) {
+          const mol::Atom& atom = receptor_.atom(ai);
+          const double r = std::max(std::sqrt(d2), 0.5);
+          e_elec += opts_.weights.estat * kCoulomb * atom.partial_charge /
+                    (mehler_solmajer_dielectric(r) * r);
+          const auto& pa = mol::ad_type_params(atom.ad_type);
+          // Receptor-side volume term only; the ligand atom's solvation
+          // parameter (solpar_i + qasp*|q_i|) multiplies in at sample time
+          // (AD4 map semantics; the product is O(0.01) per contact).
+          e_desolv += opts_.weights.desolv * pa.volume *
+                      std::exp(-(r * r) / (2.0 * kSigma * kSigma));
+          for (std::size_t t = 0; t < ligand_types.size(); ++t) {
+            e_aff[t] += ad4_vdw_hbond(ligand_types[t], atom.ad_type, r,
+                                      opts_.weights);
+          }
+        });
+
+        set.electrostatic.at(ix, iy, iz) = e_elec;
+        set.desolvation.at(ix, iy, iz) = e_desolv;
+        for (std::size_t t = 0; t < ligand_types.size(); ++t) {
+          set.affinity[t].second.at(ix, iy, iz) = e_aff[t];
+        }
+      }
+    }
+  }
+  return set;
+}
+
+std::string GridParameterFile::to_text() const {
+  std::string out;
+  out += strformat("npts %d %d %d\n", box.npts[0] - 1, box.npts[1] - 1,
+                   box.npts[2] - 1);
+  out += "gridfld receptor.maps.fld\n";
+  out += strformat("spacing %.4f\n", box.spacing);
+  std::string types;
+  for (mol::AdType t : ligand_types) {
+    if (!types.empty()) types += ' ';
+    types += std::string(mol::ad_type_name(t));
+  }
+  out += "ligand_types " + types + "\n";
+  out += "receptor " + receptor_file + "\n";
+  out += strformat("gridcenter %.3f %.3f %.3f\n", box.center.x, box.center.y,
+                   box.center.z);
+  for (mol::AdType t : ligand_types) {
+    out += "map receptor." + std::string(mol::ad_type_name(t)) + ".map\n";
+  }
+  out += "elecmap receptor.e.map\ndsolvmap receptor.d.map\n";
+  out += "dielectric -0.1465\n";
+  return out;
+}
+
+GridParameterFile GridParameterFile::parse(std::string_view text) {
+  GridParameterFile gpf;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool saw_npts = false;
+  while (std::getline(in, line)) {
+    const auto fields = split_ws(line);
+    if (fields.empty() || fields[0][0] == '#') continue;
+    if (fields[0] == "npts" && fields.size() >= 4) {
+      gpf.box.npts = {static_cast<int>(parse_int(fields[1], "gpf npts")) + 1,
+                      static_cast<int>(parse_int(fields[2], "gpf npts")) + 1,
+                      static_cast<int>(parse_int(fields[3], "gpf npts")) + 1};
+      saw_npts = true;
+    } else if (fields[0] == "spacing" && fields.size() >= 2) {
+      gpf.box.spacing = parse_double(fields[1], "gpf spacing");
+    } else if (fields[0] == "gridcenter" && fields.size() >= 4) {
+      gpf.box.center = {parse_double(fields[1], "gpf center"),
+                        parse_double(fields[2], "gpf center"),
+                        parse_double(fields[3], "gpf center")};
+    } else if (fields[0] == "ligand_types") {
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const auto t = mol::ad_type_from_name(fields[i]);
+        if (!t) throw ParseError("GPF", "unknown ligand type " + fields[i]);
+        gpf.ligand_types.push_back(*t);
+      }
+    } else if (fields[0] == "receptor" && fields.size() >= 2) {
+      gpf.receptor_file = fields[1];
+    }
+  }
+  if (!saw_npts) throw ParseError("GPF", "missing npts record");
+  return gpf;
+}
+
+GridParameterFile make_gpf(const mol::Molecule& receptor,
+                           const mol::Molecule& ligand, double box_padding,
+                           double spacing) {
+  GridParameterFile gpf;
+  const double half_extent =
+      std::max(ligand.radius_of_gyration() * 2.0 + box_padding, 8.0);
+  gpf.box = GridBox::around(receptor.center(), half_extent, spacing);
+  {
+    mol::Molecule lig = ligand;
+    lig.perceive();
+    gpf.ligand_types = lig.ad_types_present();
+  }
+  gpf.receptor_file = receptor.name() + ".pdbqt";
+  gpf.ligand_file = ligand.name() + ".pdbqt";
+  return gpf;
+}
+
+}  // namespace scidock::dock

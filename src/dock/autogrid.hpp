@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file autogrid.hpp
+/// Grid-map generation — SciDock activity 5 (AutoGrid 4 analog).
+///
+/// For every ligand atom type present, the calculator samples the summed
+/// receptor interaction on each grid point: a type-specific vdW/H-bond
+/// affinity map, a unit-charge electrostatic map and a desolvation map.
+/// AutoDock 4 then scores poses by trilinear interpolation into these maps.
+
+#include "dock/grid.hpp"
+#include "dock/scoring.hpp"
+#include "mol/molecule.hpp"
+
+namespace scidock::dock {
+
+struct AutogridOptions {
+  double cutoff = 8.0;     ///< Å interaction cutoff (AutoGrid's NBC)
+  Ad4Weights weights{};
+};
+
+class GridMapCalculator {
+ public:
+  /// `receptor` must be prepared (typed + charged).
+  GridMapCalculator(const mol::Molecule& receptor, AutogridOptions opts = {});
+
+  /// Compute maps over `box` for the given ligand atom types.
+  GridMapSet calculate(const GridBox& box,
+                       const std::vector<mol::AdType>& ligand_types) const;
+
+ private:
+  const mol::Molecule& receptor_;
+  AutogridOptions opts_;
+  NeighborList neighbors_;
+};
+
+/// The Grid Parameter File (activity 4 output): the text AutoGrid consumes.
+/// Mirrors the real GPF keywords the paper's workflow templates carry.
+struct GridParameterFile {
+  GridBox box;
+  std::vector<mol::AdType> ligand_types;
+  std::string receptor_file;
+  std::string ligand_file;
+
+  std::string to_text() const;
+  static GridParameterFile parse(std::string_view text);
+};
+
+/// Activity 4: derive the GPF from a prepared receptor + ligand pair.
+/// The box is centred on the receptor's binding pocket (approximated by
+/// the receptor centroid) and sized to the ligand's gyration radius.
+GridParameterFile make_gpf(const mol::Molecule& receptor,
+                           const mol::Molecule& ligand,
+                           double box_padding = 6.0, double spacing = 0.375);
+
+}  // namespace scidock::dock

@@ -1,0 +1,35 @@
+#include "dock/cluster.hpp"
+
+#include <algorithm>
+
+#include "mol/molecule.hpp"
+#include "util/error.hpp"
+
+namespace scidock::dock {
+
+int cluster_conformations(std::vector<Conformation>& conformations,
+                          double rmsd_tolerance) {
+  SCIDOCK_ASSERT(rmsd_tolerance > 0);
+  std::sort(conformations.begin(), conformations.end(),
+            [](const Conformation& a, const Conformation& b) {
+              return a.feb < b.feb;
+            });
+  std::vector<const Conformation*> leaders;
+  for (Conformation& c : conformations) {
+    bool placed = false;
+    for (std::size_t k = 0; k < leaders.size(); ++k) {
+      if (mol::rmsd(c.coords, leaders[k]->coords) <= rmsd_tolerance) {
+        c.cluster = static_cast<int>(k);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      c.cluster = static_cast<int>(leaders.size());
+      leaders.push_back(&c);
+    }
+  }
+  return static_cast<int>(leaders.size());
+}
+
+}  // namespace scidock::dock

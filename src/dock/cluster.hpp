@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file cluster.hpp
+/// RMSD-based conformational clustering, as AD4 applies to its GA runs
+/// before reporting the clustering histogram in the .dlg file.
+
+#include <vector>
+
+#include "dock/engine.hpp"
+
+namespace scidock::dock {
+
+/// Greedy leader clustering: conformations are visited best-energy-first;
+/// each joins the first existing cluster whose leader is within
+/// `rmsd_tolerance` Å, else founds a new cluster. Sets `cluster` on every
+/// conformation (0 = cluster with the best energy) and returns the number
+/// of clusters.
+int cluster_conformations(std::vector<Conformation>& conformations,
+                          double rmsd_tolerance = 2.0);
+
+}  // namespace scidock::dock

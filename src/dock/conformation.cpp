@@ -1,0 +1,71 @@
+#include "dock/conformation.hpp"
+
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace scidock::dock {
+
+DockPose DockPose::random(const GridBox& box, const mol::Vec3& reference_center,
+                          int torsion_count, Rng& rng) {
+  DockPose pose;
+  const mol::Aabb bounds = box.bounds();
+  const mol::Vec3 target{rng.uniform(bounds.lo.x, bounds.hi.x),
+                         rng.uniform(bounds.lo.y, bounds.hi.y),
+                         rng.uniform(bounds.lo.z, bounds.hi.z)};
+  pose.rigid.translation = target - reference_center;
+  pose.rigid.rotation =
+      mol::Quaternion::random_uniform(rng.uniform(), rng.uniform(), rng.uniform());
+  pose.torsions.resize(static_cast<std::size_t>(torsion_count));
+  for (double& t : pose.torsions) {
+    t = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  }
+  return pose;
+}
+
+void DockPose::mutate(double translate_sigma, double rotate_sigma,
+                      double torsion_sigma, Rng& rng) {
+  rigid.translation.x += rng.normal(0.0, translate_sigma);
+  rigid.translation.y += rng.normal(0.0, translate_sigma);
+  rigid.translation.z += rng.normal(0.0, translate_sigma);
+  const mol::Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+  rigid.rotation = (mol::Quaternion::from_axis_angle(
+                        axis, rng.normal(0.0, rotate_sigma)) *
+                    rigid.rotation)
+                       .normalized();
+  for (double& t : torsions) t += rng.normal(0.0, torsion_sigma);
+}
+
+void DockPose::mutate_one(double translate_sigma, double rotate_sigma,
+                          double torsion_sigma, Rng& rng) {
+  const std::uint64_t choices = 2 + torsions.size();
+  const std::uint64_t pick = rng.below(choices);
+  if (pick == 0) {
+    rigid.translation.x += rng.normal(0.0, translate_sigma);
+    rigid.translation.y += rng.normal(0.0, translate_sigma);
+    rigid.translation.z += rng.normal(0.0, translate_sigma);
+  } else if (pick == 1) {
+    const mol::Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+    rigid.rotation = (mol::Quaternion::from_axis_angle(
+                          axis, rng.normal(0.0, rotate_sigma)) *
+                      rigid.rotation)
+                         .normalized();
+  } else {
+    torsions[static_cast<std::size_t>(pick - 2)] += rng.normal(0.0, torsion_sigma);
+  }
+}
+
+DockPose DockPose::crossover(const DockPose& other, Rng& rng) const {
+  SCIDOCK_ASSERT(torsions.size() == other.torsions.size());
+  DockPose child = *this;
+  if (rng.chance(0.5)) child.rigid.translation.x = other.rigid.translation.x;
+  if (rng.chance(0.5)) child.rigid.translation.y = other.rigid.translation.y;
+  if (rng.chance(0.5)) child.rigid.translation.z = other.rigid.translation.z;
+  if (rng.chance(0.5)) child.rigid.rotation = other.rigid.rotation;
+  for (std::size_t i = 0; i < torsions.size(); ++i) {
+    if (rng.chance(0.5)) child.torsions[i] = other.torsions[i];
+  }
+  return child;
+}
+
+}  // namespace scidock::dock

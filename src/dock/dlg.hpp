@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file dlg.hpp
+/// Docking-log writers. AD4 writes `.dlg` files with FEB, the RMSD table
+/// and the clustering histogram; Vina writes its mode table. These are the
+/// files Query 2 locates in the provenance database and whose contents the
+/// workflow extractors parse back into provenance records.
+
+#include <string>
+#include <string_view>
+
+#include "dock/engine.hpp"
+#include "mol/prepare.hpp"
+
+namespace scidock::dock {
+
+/// AD4-style .dlg content for a docking result.
+std::string write_dlg(const DockingResult& result);
+
+/// Vina-style terminal log (mode table).
+std::string write_vina_log(const DockingResult& result);
+
+/// The summary values the workflow's extractor component pulls out of a
+/// docking log for provenance (binding energy, RMSD, counts).
+struct DlgSummary {
+  std::string receptor;
+  std::string ligand;
+  std::string engine;
+  double best_feb = 0.0;
+  double best_rmsd = 0.0;
+  double mean_feb = 0.0;
+  double mean_rmsd = 0.0;
+  int conformations = 0;
+  int clusters = 0;
+};
+
+/// Parse either log flavour back into a summary (the extractor path).
+DlgSummary parse_docking_log(std::string_view text);
+
+/// Multi-MODEL output PDBQT, as Vina writes its `_out.pdbqt`: one MODEL
+/// block per reported conformation with a "REMARK VINA RESULT" line, the
+/// ligand's torsion-tree records and the docked coordinates.
+std::string write_poses_pdbqt(const mol::PreparedLigand& ligand,
+                              const DockingResult& result);
+
+}  // namespace scidock::dock

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file dpf.hpp
+/// Activity-7 parameter files: the AD4 Docking Parameter File (7a) and the
+/// Vina configuration file (7b). Both round-trip through text so the
+/// workflow's template/extractor instrumentation has real files to handle.
+
+#include <string>
+#include <string_view>
+
+#include "dock/grid.hpp"
+
+namespace scidock::dock {
+
+/// AD4 DPF — genetic-algorithm parameters plus file references.
+struct DockingParameterFile {
+  std::string ligand_file;
+  std::string receptor_maps_prefix;
+  int ga_runs = 10;           ///< independent LGA runs
+  int ga_pop_size = 50;
+  long long ga_num_evals = 25000;
+  int ga_num_generations = 270;
+  double ga_mutation_rate = 0.02;
+  double ga_crossover_rate = 0.8;
+  int sw_max_its = 300;       ///< Solis-Wets iterations per local search
+  double rmstol = 2.0;        ///< clustering tolerance
+  unsigned long long seed = 1;
+
+  std::string to_text() const;
+  static DockingParameterFile parse(std::string_view text);
+};
+
+/// Vina config — search box plus exhaustiveness.
+struct VinaConfig {
+  std::string receptor_file;
+  std::string ligand_file;
+  GridBox box;
+  int exhaustiveness = 8;
+  int num_modes = 9;
+  double energy_range = 3.0;  ///< kcal/mol window around the best mode
+  unsigned long long seed = 1;
+
+  std::string to_text() const;
+  static VinaConfig parse(std::string_view text);
+};
+
+}  // namespace scidock::dock

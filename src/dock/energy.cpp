@@ -1,0 +1,134 @@
+#include "dock/energy.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace scidock::dock {
+
+namespace {
+
+mol::Vec3 root_center(const mol::PreparedLigand& ligand) {
+  std::vector<mol::Vec3> pts;
+  for (int i : ligand.torsions.root_atoms()) {
+    pts.push_back(ligand.molecule.atom(i).pos);
+  }
+  if (pts.empty()) return ligand.molecule.center();
+  return mol::centroid(pts);
+}
+
+}  // namespace
+
+Ad4EnergyModel::Ad4EnergyModel(const GridMapSet& maps,
+                               const mol::PreparedLigand& ligand,
+                               Ad4Weights weights)
+    : maps_(maps), ligand_(ligand), weights_(weights),
+      reference_coords_(ligand.molecule.coordinates()),
+      reference_center_(root_center(ligand)),
+      intra_pairs_(intramolecular_pairs(ligand.molecule)) {
+  // Every ligand type must have a map, otherwise the GPF was wrong.
+  for (mol::AdType t : ligand.molecule.ad_types_present()) {
+    SCIDOCK_REQUIRE(maps_.affinity_for(t) != nullptr,
+                    "missing AutoGrid map for ligand atom type " +
+                        std::string(mol::ad_type_name(t)));
+  }
+}
+
+double Ad4EnergyModel::intermolecular(const std::vector<mol::Vec3>& coords) const {
+  double e = 0.0;
+  for (int i = 0; i < ligand_.molecule.atom_count(); ++i) {
+    const mol::Atom& a = ligand_.molecule.atom(i);
+    const mol::Vec3& p = coords[static_cast<std::size_t>(i)];
+    const GridMap* aff = maps_.affinity_for(a.ad_type);
+    e += aff->sample(p);
+    e += a.partial_charge * maps_.electrostatic.sample(p);
+    const auto& pa = mol::ad_type_params(a.ad_type);
+    constexpr double kQasp = 0.01097;
+    e += (pa.solpar + kQasp * std::abs(a.partial_charge)) *
+         maps_.desolvation.sample(p);
+  }
+  return e;
+}
+
+double Ad4EnergyModel::intramolecular(const std::vector<mol::Vec3>& coords) const {
+  double e = 0.0;
+  for (const auto& [i, j] : intra_pairs_) {
+    const mol::Atom& ai = ligand_.molecule.atom(i);
+    const mol::Atom& aj = ligand_.molecule.atom(j);
+    const double r = mol::distance(coords[static_cast<std::size_t>(i)],
+                                   coords[static_cast<std::size_t>(j)]);
+    e += ad4_pair_energy(ai.ad_type, ai.partial_charge, aj.ad_type,
+                         aj.partial_charge, r, weights_);
+  }
+  return e;
+}
+
+double Ad4EnergyModel::operator()(const DockPose& pose) const {
+  ++evaluations_;
+  const std::vector<mol::Vec3> coords = coords_for(pose);
+  return intermolecular(coords) + intramolecular(coords);
+}
+
+double Ad4EnergyModel::feb(double inter) const {
+  return inter + weights_.tors * static_cast<double>(ligand_.torsions.torsion_count());
+}
+
+std::vector<mol::Vec3> Ad4EnergyModel::coords_for(const DockPose& pose) const {
+  return ligand_.torsions.apply(reference_coords_, pose.rigid, pose.torsions);
+}
+
+VinaEnergyModel::VinaEnergyModel(const mol::PreparedReceptor& receptor,
+                                 const mol::PreparedLigand& ligand,
+                                 const GridBox& box, VinaWeights weights)
+    : receptor_(receptor), ligand_(ligand), box_(box), weights_(weights),
+      neighbors_(receptor.molecule, 8.0),
+      reference_coords_(ligand.molecule.coordinates()),
+      reference_center_(root_center(ligand)),
+      intra_pairs_(intramolecular_pairs(ligand.molecule)) {}
+
+double VinaEnergyModel::intermolecular(const std::vector<mol::Vec3>& coords) const {
+  double e = 0.0;
+  for (int i = 0; i < ligand_.molecule.atom_count(); ++i) {
+    const mol::Atom& a = ligand_.molecule.atom(i);
+    const mol::Vec3& p = coords[static_cast<std::size_t>(i)];
+    // Vina confines the search to the box: out-of-box atoms incur a steep
+    // harmonic pull-back, mirroring its boundary handling.
+    if (!box_.contains(p)) {
+      const mol::Vec3 c = box_.center;
+      e += 10.0 * mol::distance_sq(p, c);
+      continue;
+    }
+    neighbors_.for_each_within(p, [&](int ri, double d2) {
+      const mol::Atom& r = receptor_.molecule.atom(ri);
+      e += vina_pair_energy(a.ad_type, r.ad_type, std::sqrt(d2), weights_);
+    });
+  }
+  return e;
+}
+
+double VinaEnergyModel::intramolecular(const std::vector<mol::Vec3>& coords) const {
+  double e = 0.0;
+  for (const auto& [i, j] : intra_pairs_) {
+    const double r = mol::distance(coords[static_cast<std::size_t>(i)],
+                                   coords[static_cast<std::size_t>(j)]);
+    e += vina_pair_energy(ligand_.molecule.atom(i).ad_type,
+                          ligand_.molecule.atom(j).ad_type, r, weights_);
+  }
+  return e;
+}
+
+double VinaEnergyModel::operator()(const DockPose& pose) const {
+  ++evaluations_;
+  const std::vector<mol::Vec3> coords = coords_for(pose);
+  return intermolecular(coords) + intramolecular(coords);
+}
+
+double VinaEnergyModel::feb(double inter) const {
+  return vina_affinity(inter, ligand_.torsions.torsion_count(), weights_);
+}
+
+std::vector<mol::Vec3> VinaEnergyModel::coords_for(const DockPose& pose) const {
+  return ligand_.torsions.apply(reference_coords_, pose.rigid, pose.torsions);
+}
+
+}  // namespace scidock::dock

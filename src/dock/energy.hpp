@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file energy.hpp
+/// Energy models binding a (receptor, ligand) pair to a scalar objective
+/// over DockPose. AD4 scores through precomputed grid maps; Vina scores
+/// by direct pairwise evaluation through a neighbour list.
+
+#include <vector>
+
+#include "dock/autogrid.hpp"
+#include "dock/conformation.hpp"
+#include "dock/grid.hpp"
+#include "dock/scoring.hpp"
+#include "mol/prepare.hpp"
+
+namespace scidock::dock {
+
+/// AD4 grid-based objective. Holds references: the maps and ligand must
+/// outlive the model.
+class Ad4EnergyModel {
+ public:
+  Ad4EnergyModel(const GridMapSet& maps, const mol::PreparedLigand& ligand,
+                 Ad4Weights weights = {});
+
+  /// Receptor-ligand energy of explicit coordinates (map interpolation).
+  double intermolecular(const std::vector<mol::Vec3>& coords) const;
+  /// Ligand internal energy (pairwise, torsion-dependent).
+  double intramolecular(const std::vector<mol::Vec3>& coords) const;
+
+  /// Objective on a pose; also counts one energy evaluation.
+  double operator()(const DockPose& pose) const;
+
+  /// Reported FEB: best intermolecular + torsional entropy penalty
+  /// (AD4's DeltaG = inter + tors * N_tors; intra cancels in the bound/
+  /// unbound difference under the rigid-receptor approximation).
+  double feb(double inter) const;
+
+  std::vector<mol::Vec3> coords_for(const DockPose& pose) const;
+  long long evaluations() const { return evaluations_; }
+  const mol::Vec3& reference_center() const { return reference_center_; }
+
+ private:
+  const GridMapSet& maps_;
+  const mol::PreparedLigand& ligand_;
+  Ad4Weights weights_;
+  std::vector<mol::Vec3> reference_coords_;
+  mol::Vec3 reference_center_{};
+  std::vector<std::pair<int, int>> intra_pairs_;
+  mutable long long evaluations_ = 0;
+};
+
+/// Vina direct-evaluation objective.
+class VinaEnergyModel {
+ public:
+  VinaEnergyModel(const mol::PreparedReceptor& receptor,
+                  const mol::PreparedLigand& ligand, const GridBox& box,
+                  VinaWeights weights = {});
+
+  double intermolecular(const std::vector<mol::Vec3>& coords) const;
+  double intramolecular(const std::vector<mol::Vec3>& coords) const;
+  double operator()(const DockPose& pose) const;
+
+  /// Vina's reported affinity from the best intermolecular energy.
+  double feb(double inter) const;
+
+  std::vector<mol::Vec3> coords_for(const DockPose& pose) const;
+  long long evaluations() const { return evaluations_; }
+  const mol::Vec3& reference_center() const { return reference_center_; }
+
+ private:
+  const mol::PreparedReceptor& receptor_;
+  const mol::PreparedLigand& ligand_;
+  GridBox box_;
+  VinaWeights weights_;
+  NeighborList neighbors_;
+  std::vector<mol::Vec3> reference_coords_;
+  mol::Vec3 reference_center_{};
+  std::vector<std::pair<int, int>> intra_pairs_;
+  mutable long long evaluations_ = 0;
+};
+
+}  // namespace scidock::dock

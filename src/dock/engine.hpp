@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file engine.hpp
+/// Engine-neutral docking task and result types (SciDock activity 8).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dock/grid.hpp"
+#include "mol/geometry.hpp"
+#include "mol/prepare.hpp"
+#include "util/rng.hpp"
+
+namespace scidock::dock {
+
+/// One scored conformation in a docking result.
+struct Conformation {
+  std::vector<mol::Vec3> coords;
+  double feb = 0.0;             ///< reported free energy of binding, kcal/mol
+  double intermolecular = 0.0;  ///< receptor-ligand component
+  double intramolecular = 0.0;  ///< ligand internal component
+  double rmsd_from_input = 0.0; ///< Å vs the input (reference) conformation
+  int run = 0;                  ///< which independent run produced it
+  int cluster = 0;              ///< RMSD-cluster index (0 = best cluster)
+};
+
+struct DockingResult {
+  std::string receptor_name;
+  std::string ligand_name;
+  std::string engine_name;
+  std::vector<Conformation> conformations;  ///< sorted best-FEB first
+  long long energy_evaluations = 0;
+  double wall_seconds = 0.0;
+
+  bool empty() const { return conformations.empty(); }
+  const Conformation& best() const;
+  /// Favourable-interaction predicate used in Table 3: FEB < 0.
+  bool favorable() const { return !empty() && best().feb < 0.0; }
+  /// Mean FEB / RMSD over the reported conformations.
+  double mean_feb() const;
+  double mean_rmsd() const;
+};
+
+/// Interface shared by the AD4 and Vina engines.
+class DockingEngine {
+ public:
+  virtual ~DockingEngine() = default;
+  virtual std::string name() const = 0;
+  /// Dock a prepared ligand against a prepared receptor inside `box`.
+  /// The RNG makes every run reproducible.
+  virtual DockingResult dock(const mol::PreparedReceptor& receptor,
+                             const mol::PreparedLigand& ligand,
+                             const GridBox& box, Rng& rng) = 0;
+};
+
+}  // namespace scidock::dock

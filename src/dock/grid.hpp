@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file grid.hpp
+/// Affinity-grid primitives: the search box, a trilinearly-interpolated
+/// scalar field, and the per-atom-type map set AutoGrid produces
+/// (SciDock activity 5).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "mol/atom_typing.hpp"
+#include "mol/geometry.hpp"
+
+namespace scidock::dock {
+
+/// The docking search box: centre + integer point counts + spacing, the
+/// same parameterisation as AutoGrid's GPF `npts`/`spacing`/`gridcenter`.
+struct GridBox {
+  mol::Vec3 center{};
+  std::array<int, 3> npts{40, 40, 40};  ///< points per axis (>= 2)
+  double spacing = 0.375;               ///< Å between points
+
+  mol::Vec3 origin() const {
+    return {center.x - spacing * (npts[0] - 1) / 2.0,
+            center.y - spacing * (npts[1] - 1) / 2.0,
+            center.z - spacing * (npts[2] - 1) / 2.0};
+  }
+  mol::Vec3 extent() const {
+    return {spacing * (npts[0] - 1), spacing * (npts[1] - 1),
+            spacing * (npts[2] - 1)};
+  }
+  mol::Aabb bounds() const {
+    const mol::Vec3 o = origin();
+    return {o, o + extent()};
+  }
+  bool contains(const mol::Vec3& p) const { return bounds().contains(p); }
+  std::size_t total_points() const {
+    return static_cast<std::size_t>(npts[0]) * static_cast<std::size_t>(npts[1]) *
+           static_cast<std::size_t>(npts[2]);
+  }
+
+  /// Box sized to enclose a ligand search volume around `center` with
+  /// `padding` Å on each side, clamped to the given spacing.
+  static GridBox around(const mol::Vec3& center, double half_extent,
+                        double spacing = 0.375);
+};
+
+/// One scalar field over the box. Storage is x-fastest (AutoGrid order).
+class GridMap {
+ public:
+  GridMap() = default;
+  GridMap(GridBox box, std::string label);
+
+  const GridBox& box() const { return box_; }
+  const std::string& label() const { return label_; }
+
+  double& at(int ix, int iy, int iz);
+  double at(int ix, int iy, int iz) const;
+
+  /// Trilinear interpolation; positions outside the box are clamped to a
+  /// large penalty (AutoDock treats out-of-box as forbidden).
+  double sample(const mol::Vec3& p) const;
+
+  /// Value returned for out-of-box samples.
+  static constexpr double kOutOfBoxPenalty = 1.0e5;
+
+  std::vector<double>& values() { return values_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Serialise in (abbreviated) AutoGrid .map format: header + one value
+  /// per line. parse() round-trips.
+  std::string to_map_file() const;
+  static GridMap from_map_file(std::string_view text);
+
+ private:
+  std::size_t index(int ix, int iy, int iz) const;
+
+  GridBox box_;
+  std::string label_;
+  std::vector<double> values_;
+};
+
+/// The full AutoGrid output for one receptor/box: one affinity map per
+/// ligand atom type plus electrostatic and desolvation maps.
+struct GridMapSet {
+  GridBox box;
+  std::vector<std::pair<mol::AdType, GridMap>> affinity;  ///< per ligand type
+  GridMap electrostatic;
+  GridMap desolvation;
+
+  const GridMap* affinity_for(mol::AdType t) const;
+  /// Number of files the real AutoGrid would emit (atom maps + e + d +
+  /// field + xyz), used by the provenance file accounting.
+  int file_count() const { return static_cast<int>(affinity.size()) + 4; }
+};
+
+}  // namespace scidock::dock

@@ -1,0 +1,176 @@
+#include "dock/scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace scidock::dock {
+
+double mehler_solmajer_dielectric(double r) {
+  // eps(r) = A + B / (1 + k e^(-lambda B r)), Mehler & Solmajer 1991.
+  constexpr double kA = -8.5525;
+  constexpr double kB = 78.4 - kA;
+  constexpr double kK = 7.7839;
+  constexpr double kLambda = 0.003627;
+  return kA + kB / (1.0 + kK * std::exp(-kLambda * kB * r));
+}
+
+namespace {
+
+constexpr double kMinDistance = 0.5;  ///< clamp to avoid singularities
+
+bool is_hbond_pair(const mol::AdTypeParams& a, const mol::AdTypeParams& b) {
+  return (a.hbond_donor && b.hbond_acceptor) ||
+         (a.hbond_acceptor && b.hbond_donor);
+}
+
+}  // namespace
+
+double ad4_vdw_hbond(mol::AdType ti, mol::AdType tj, double r,
+                     const Ad4Weights& w) {
+  const auto& pi = mol::ad_type_params(ti);
+  const auto& pj = mol::ad_type_params(tj);
+  r = std::max(r, kMinDistance);
+
+  // Lorentz-Berthelot-style combination as AD4 uses on its parameter file.
+  const double req = 0.5 * (pi.rii + pj.rii);
+  const double eps = std::sqrt(pi.epsii * pj.epsii);
+
+  if (is_hbond_pair(pi, pj)) {
+    // 12-10 hydrogen-bond well, depth 5 kcal/mol at 1.9 Å (AD4 convention).
+    constexpr double kHbRadius = 1.9;
+    constexpr double kHbDepth = 5.0;
+    const double ratio = kHbRadius / r;
+    const double r10 = std::pow(ratio, 10);
+    const double r12 = r10 * ratio * ratio;
+    const double e = kHbDepth * (5.0 * r12 - 6.0 * r10);
+    return w.hbond * std::min(e, 100.0);
+  }
+  const double ratio = req / r;
+  const double r6 = std::pow(ratio, 6);
+  const double r12 = r6 * r6;
+  const double e = eps * (r12 - 2.0 * r6);
+  // AD4 clamps the repulsive wall (EINTCLAMP) so a single clash cannot
+  // produce astronomically large energies that break the GA.
+  return w.vdw * std::min(e, 100.0);
+}
+
+double ad4_pair_energy(mol::AdType ti, double qi, mol::AdType tj, double qj,
+                       double r, const Ad4Weights& w) {
+  r = std::max(r, kMinDistance);
+  const auto& pi = mol::ad_type_params(ti);
+  const auto& pj = mol::ad_type_params(tj);
+
+  double e = ad4_vdw_hbond(ti, tj, r, w);
+
+  // Screened Coulomb: 332.06 converts e^2/Å to kcal/mol.
+  constexpr double kCoulomb = 332.06;
+  e += w.estat * kCoulomb * qi * qj / (mehler_solmajer_dielectric(r) * r);
+
+  // Gaussian-weighted pairwise desolvation (Stouten-style, sigma 3.6 Å).
+  constexpr double kSigma = 3.6;
+  constexpr double kQasp = 0.01097;  ///< charge-dependent solvation factor
+  const double gauss = std::exp(-(r * r) / (2.0 * kSigma * kSigma));
+  const double solv =
+      (pi.solpar + kQasp * std::abs(qi)) * pj.volume +
+      (pj.solpar + kQasp * std::abs(qj)) * pi.volume;
+  e += w.desolv * solv * gauss;
+  return e;
+}
+
+double vina_pair_energy(mol::AdType ti, mol::AdType tj, double r,
+                        const VinaWeights& w) {
+  const mol::VinaKind ki = mol::vina_kind(ti);
+  const mol::VinaKind kj = mol::vina_kind(tj);
+  if (ki.skip || kj.skip) return 0.0;
+  constexpr double kCutoff = 8.0;
+  if (r >= kCutoff) return 0.0;
+
+  const double d = r - (ki.radius + kj.radius);  // surface distance
+
+  double e = 0.0;
+  e += w.gauss1 * std::exp(-std::pow(d / 0.5, 2));
+  e += w.gauss2 * std::exp(-std::pow((d - 3.0) / 2.0, 2));
+  if (d < 0.0) e += w.repulsion * d * d;
+
+  if (ki.hydrophobic && kj.hydrophobic) {
+    // Linear ramp: full weight below 0.5 Å surface distance, zero above 1.5.
+    double f = 0.0;
+    if (d < 0.5) f = 1.0;
+    else if (d < 1.5) f = 1.5 - d;
+    e += w.hydrophobic * f;
+  }
+  if ((ki.donor && kj.acceptor) || (ki.acceptor && kj.donor)) {
+    // Linear ramp: full weight below -0.7 Å, zero above 0.
+    double f = 0.0;
+    if (d < -0.7) f = 1.0;
+    else if (d < 0.0) f = -d / 0.7;
+    e += w.hbond * f;
+  }
+  return e;
+}
+
+double vina_affinity(double intermolecular_energy, int n_rot,
+                     const VinaWeights& w) {
+  return intermolecular_energy / (1.0 + w.rot * static_cast<double>(n_rot));
+}
+
+NeighborList::NeighborList(const mol::Molecule& receptor, double cutoff)
+    : cutoff_(cutoff), cutoff_sq_(cutoff * cutoff) {
+  SCIDOCK_ASSERT(cutoff > 0);
+  positions_.reserve(static_cast<std::size_t>(receptor.atom_count()));
+  for (const mol::Atom& a : receptor.atoms()) positions_.push_back(a.pos);
+  for (int i = 0; i < receptor.atom_count(); ++i) {
+    const CellKey c = key_of(positions_[static_cast<std::size_t>(i)]);
+    cells_[pack(c.x, c.y, c.z)].push_back(i);
+  }
+}
+
+NeighborList::CellKey NeighborList::key_of(const mol::Vec3& p) const {
+  return {static_cast<long long>(std::floor(p.x / cutoff_)),
+          static_cast<long long>(std::floor(p.y / cutoff_)),
+          static_cast<long long>(std::floor(p.z / cutoff_))};
+}
+
+std::uint64_t NeighborList::pack(long long x, long long y, long long z) {
+  // 21 bits per signed coordinate: |coord| < 2^20 cells covers +-8000 km at
+  // an 8 Å cutoff, far beyond any molecular system.
+  const auto fold = [](long long v) {
+    return static_cast<std::uint64_t>(v + (1LL << 20)) & ((1ULL << 21) - 1);
+  };
+  return fold(x) | (fold(y) << 21) | (fold(z) << 42);
+}
+
+std::vector<std::pair<int, int>> intramolecular_pairs(const mol::Molecule& ligand) {
+  SCIDOCK_ASSERT_MSG(ligand.perceived(), "perceive() ligand before intramolecular_pairs()");
+  const int n = ligand.atom_count();
+  // Bond-distance BFS per atom; pairs at graph distance >= 3 interact.
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<int> queue{i};
+    dist[static_cast<std::size_t>(i)] = 0;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      if (dist[static_cast<std::size_t>(u)] >= 3) continue;  // only need to prove < 3
+      for (int v : ligand.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] == -1) {
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (int j = i + 1; j < n; ++j) {
+      if (dist[static_cast<std::size_t>(j)] == -1 || dist[static_cast<std::size_t>(j)] >= 3) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace scidock::dock

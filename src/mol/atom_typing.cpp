@@ -1,0 +1,116 @@
+#include "mol/atom_typing.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::mol {
+
+namespace {
+
+// Rii/epsii/vol/solpar follow AD4.1_bound.dat; Hg is deliberately marked
+// unsupported (the real file has no Hg entry, which is what made the
+// paper's Hg-containing receptors hang activity 3).
+constexpr std::array<AdTypeParams, kAdTypeCount> kParams{{
+    {AdType::H, "H", 2.00, 0.020, 0.0000, 0.00051, false, false, false, true},
+    {AdType::HD, "HD", 2.00, 0.020, 0.0000, 0.00051, true, false, false, true},
+    {AdType::C, "C", 4.00, 0.150, 33.5103, -0.00143, false, false, true, true},
+    {AdType::A, "A", 4.00, 0.150, 33.5103, -0.00052, false, false, true, true},
+    {AdType::N, "N", 3.50, 0.160, 22.4493, -0.00162, false, false, false, true},
+    {AdType::NA, "NA", 3.50, 0.160, 22.4493, -0.00162, false, true, false, true},
+    {AdType::OA, "OA", 3.20, 0.200, 17.1573, -0.00251, false, true, false, true},
+    {AdType::F, "F", 3.09, 0.080, 15.4480, -0.00110, false, false, true, true},
+    {AdType::Mg, "Mg", 1.30, 0.875, 1.5600, -0.00110, false, false, false, true},
+    {AdType::P, "P", 4.20, 0.200, 38.7924, -0.00110, false, false, false, true},
+    {AdType::SA, "SA", 4.00, 0.200, 33.5103, -0.00214, false, true, false, true},
+    {AdType::S, "S", 4.00, 0.200, 33.5103, -0.00214, false, false, false, true},
+    {AdType::Cl, "Cl", 4.09, 0.276, 35.8235, -0.00110, false, false, true, true},
+    {AdType::Ca, "Ca", 1.98, 0.550, 2.7700, -0.00110, false, false, false, true},
+    {AdType::Mn, "Mn", 1.30, 0.875, 2.1400, -0.00110, false, false, false, true},
+    {AdType::Fe, "Fe", 1.30, 0.010, 1.8400, -0.00110, false, false, false, true},
+    {AdType::Zn, "Zn", 1.48, 0.550, 1.7000, -0.00110, false, false, false, true},
+    {AdType::Br, "Br", 4.33, 0.389, 42.5661, -0.00110, false, false, true, true},
+    {AdType::I, "I", 4.72, 0.550, 55.0585, -0.00110, false, false, true, true},
+    {AdType::Hg, "Hg", 3.10, 0.550, 17.0000, -0.00110, false, false, false, false},
+}};
+
+}  // namespace
+
+const AdTypeParams& ad_type_params(AdType t) {
+  const auto idx = static_cast<std::size_t>(t);
+  SCIDOCK_ASSERT(idx < kParams.size());
+  return kParams[idx];
+}
+
+std::optional<AdType> ad_type_from_name(std::string_view name) {
+  const std::string_view s = trim(name);
+  for (const AdTypeParams& p : kParams) {
+    if (p.name == s) return p.type;
+  }
+  return std::nullopt;
+}
+
+std::string_view ad_type_name(AdType t) { return ad_type_params(t).name; }
+
+AdType assign_ad_type(const AtomContext& ctx) {
+  switch (ctx.element) {
+    case Element::H:
+      return ctx.bonded_to_hetero ? AdType::HD : AdType::H;
+    case Element::C:
+      return ctx.aromatic ? AdType::A : AdType::C;
+    case Element::N:
+      // AD4 convention: nitrogens with a free lone pair (no bonded H and
+      // not fully substituted) accept hydrogen bonds.
+      return (!ctx.has_hydrogen && ctx.heavy_degree <= 2) ? AdType::NA
+                                                          : AdType::N;
+    case Element::O:
+      return AdType::OA;
+    case Element::F:
+      return AdType::F;
+    case Element::Mg:
+      return AdType::Mg;
+    case Element::P:
+      return AdType::P;
+    case Element::S:
+      // Thioether / thiol sulphurs are weak acceptors (SA); oxidised or
+      // fully substituted sulphur is plain S.
+      return ctx.heavy_degree <= 2 ? AdType::SA : AdType::S;
+    case Element::Cl:
+      return AdType::Cl;
+    case Element::Ca:
+      return AdType::Ca;
+    case Element::Mn:
+      return AdType::Mn;
+    case Element::Fe:
+      return AdType::Fe;
+    case Element::Zn:
+      return AdType::Zn;
+    case Element::Br:
+      return AdType::Br;
+    case Element::I:
+      return AdType::I;
+    case Element::Hg:
+      return AdType::Hg;
+    case Element::Na:
+    case Element::K:
+      // Alkali ions are not in the AD4 subset we model; treat as Mg-like.
+      return AdType::Mg;
+    case Element::Unknown:
+      return AdType::C;
+  }
+  return AdType::C;
+}
+
+VinaKind vina_kind(AdType t) {
+  const AdTypeParams& p = ad_type_params(t);
+  VinaKind k;
+  k.skip = (t == AdType::H || t == AdType::HD);
+  k.radius = p.rii / 2.0;  // xs radius approximated from the LJ optimum
+  k.hydrophobic = p.hydrophobic;
+  k.donor = p.hbond_donor;
+  k.acceptor = p.hbond_acceptor;
+  return k;
+}
+
+}  // namespace scidock::mol

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file atom_typing.hpp
+/// AutoDock 4 atom types and their pairwise force-field parameters.
+///
+/// AD4 and Vina both classify atoms into a small vocabulary that selects
+/// van-der-Waals radii/well depths and hydrogen-bond behaviour; AutoGrid
+/// produces one affinity map per *ligand* atom type present. The values in
+/// the parameter table follow the AD4.1 bound-parameters file
+/// (AD4.1_bound.dat) for the supported subset.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "mol/elements.hpp"
+
+namespace scidock::mol {
+
+/// AutoDock atom-type vocabulary (subset covering protein + common ligand
+/// chemistry + the metals found in the Table 2 dataset).
+enum class AdType : std::uint8_t {
+  H,    ///< non-polar hydrogen (bonded to carbon)
+  HD,   ///< polar hydrogen, H-bond donor
+  C,    ///< aliphatic carbon
+  A,    ///< aromatic carbon
+  N,    ///< nitrogen, no H-bond
+  NA,   ///< nitrogen H-bond acceptor
+  OA,   ///< oxygen H-bond acceptor
+  F,    ///< fluorine
+  Mg,
+  P,
+  SA,   ///< sulphur H-bond acceptor
+  S,    ///< sulphur, no H-bond
+  Cl,
+  Ca,
+  Mn,
+  Fe,
+  Zn,
+  Br,
+  I,
+  Hg,   ///< mercury — *unparameterised* in the real AD4 tables; the paper
+        ///< reports receptors containing Hg hang the docking programs.
+  Count
+};
+
+constexpr int kAdTypeCount = static_cast<int>(AdType::Count);
+
+/// Per-type Lennard-Jones and desolvation parameters (AD4.1 units:
+/// Rii in Å, epsii in kcal/mol, volume in Å³, solpar in kcal/mol/Å³).
+struct AdTypeParams {
+  AdType type;
+  std::string_view name;     ///< token used in PDBQT / map files
+  double rii;                ///< sum of vdW radii for a homonuclear pair
+  double epsii;              ///< well depth
+  double volume;             ///< atomic solvation volume
+  double solpar;             ///< atomic solvation parameter
+  bool hbond_donor;
+  bool hbond_acceptor;
+  bool hydrophobic;          ///< Vina's hydrophobic flag
+  bool supported;            ///< false => docking engines must reject (Hg)
+};
+
+const AdTypeParams& ad_type_params(AdType t);
+
+/// Parse a PDBQT/GPF atom-type token; unknown tokens return nullopt.
+std::optional<AdType> ad_type_from_name(std::string_view name);
+
+std::string_view ad_type_name(AdType t);
+
+/// Assign the AutoDock type for an atom given its element and bonding
+/// context (as computed by Molecule::perceive()).
+struct AtomContext {
+  Element element = Element::Unknown;
+  bool aromatic = false;        ///< member of an aromatic ring
+  bool bonded_to_hetero = false;///< bonded to N/O/S (polar-H rule)
+  int heavy_degree = 0;         ///< number of heavy-atom neighbours
+  bool has_hydrogen = false;    ///< at least one bonded H (acceptor N rule)
+};
+
+AdType assign_ad_type(const AtomContext& ctx);
+
+/// Vina's coarser "atom kind" used by its scoring function.
+struct VinaKind {
+  double radius = 1.9;     ///< xs radius, Å
+  bool hydrophobic = false;
+  bool donor = false;
+  bool acceptor = false;
+  bool skip = false;       ///< hydrogens contribute no Vina terms
+};
+
+VinaKind vina_kind(AdType t);
+
+}  // namespace scidock::mol

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file charges.hpp
+/// Gasteiger-style partial-charge assignment (PEOE — partial equalisation
+/// of orbital electronegativities), the method MGLTools' prepare_ligand4 /
+/// prepare_receptor4 scripts apply before docking.
+
+#include "mol/molecule.hpp"
+
+namespace scidock::mol {
+
+struct GasteigerOptions {
+  int iterations = 6;       ///< PEOE converges geometrically; 6 is standard
+  double damping = 0.5;     ///< per-iteration transfer attenuation
+};
+
+/// Assign partial charges in-place. Requires perceive() to have run (it is
+/// invoked if necessary). Total charge is re-normalised to zero at the end
+/// so the molecule stays neutral overall.
+void assign_gasteiger_charges(Molecule& m, const GasteigerOptions& opts = {});
+
+/// Sum of all partial charges (diagnostic; ~0 after assignment).
+double total_charge(const Molecule& m);
+
+}  // namespace scidock::mol

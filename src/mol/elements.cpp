@@ -1,0 +1,92 @@
+#include "mol/elements.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::mol {
+
+namespace {
+
+// Covalent radii: Cordero et al. 2008; vdW radii: Bondi 1964 (metals:
+// common force-field values). Electronegativities: Pauling.
+constexpr std::array<ElementInfo, 19> kElements{{
+    {Element::Unknown, "X", 0, 12.011, 0.76, 1.70, 2.55, false},
+    {Element::H, "H", 1, 1.008, 0.31, 1.20, 2.20, false},
+    {Element::C, "C", 6, 12.011, 0.76, 1.70, 2.55, false},
+    {Element::N, "N", 7, 14.007, 0.71, 1.55, 3.04, false},
+    {Element::O, "O", 8, 15.999, 0.66, 1.52, 3.44, false},
+    {Element::F, "F", 9, 18.998, 0.57, 1.47, 3.98, false},
+    {Element::Na, "Na", 11, 22.990, 1.66, 2.27, 0.93, true},
+    {Element::Mg, "Mg", 12, 24.305, 1.41, 1.73, 1.31, true},
+    {Element::P, "P", 15, 30.974, 1.07, 1.80, 2.19, false},
+    {Element::S, "S", 16, 32.06, 1.05, 1.80, 2.58, false},
+    {Element::Cl, "Cl", 17, 35.45, 1.02, 1.75, 3.16, false},
+    {Element::K, "K", 19, 39.098, 2.03, 2.75, 0.82, true},
+    {Element::Ca, "Ca", 20, 40.078, 1.76, 2.31, 1.00, true},
+    {Element::Mn, "Mn", 25, 54.938, 1.39, 2.05, 1.55, true},
+    {Element::Fe, "Fe", 26, 55.845, 1.32, 2.05, 1.83, true},
+    {Element::Zn, "Zn", 30, 65.38, 1.22, 1.39, 1.65, true},
+    {Element::Br, "Br", 35, 79.904, 1.20, 1.85, 2.96, false},
+    {Element::I, "I", 53, 126.904, 1.39, 1.98, 2.66, false},
+    {Element::Hg, "Hg", 80, 200.592, 1.32, 1.55, 2.00, true},
+}};
+
+}  // namespace
+
+const ElementInfo& element_info(Element e) {
+  for (const ElementInfo& info : kElements) {
+    if (info.element == e) return info;
+  }
+  return kElements[0];
+}
+
+std::optional<Element> element_from_symbol(std::string_view symbol) {
+  const std::string_view s = trim(symbol);
+  for (const ElementInfo& info : kElements) {
+    if (info.element != Element::Unknown && iequals(info.symbol, s)) {
+      return info.element;
+    }
+  }
+  return std::nullopt;
+}
+
+Element element_from_pdb_atom_name(std::string_view atom_name,
+                                   bool is_standard_residue) {
+  const std::string name = to_upper(trim(atom_name));
+  if (name.empty()) return Element::Unknown;
+
+  if (!is_standard_residue) {
+    // HETATM ions/metals: the full name is typically the element symbol.
+    if (auto e = element_from_symbol(name)) return *e;
+  }
+  // Two-letter halogens/metals inside residue or ligand names.
+  if (name.size() >= 2) {
+    const std::string two = name.substr(0, 2);
+    if (two == "CL") return Element::Cl;
+    if (two == "BR") return Element::Br;
+    if (two == "HG" && !is_standard_residue) return Element::Hg;
+    if (two == "ZN") return Element::Zn;
+    if (two == "FE") return Element::Fe;
+    if (two == "MG") return Element::Mg;
+    if (two == "MN") return Element::Mn;
+    if (two == "NA" && !is_standard_residue) return Element::Na;
+  }
+  // PDB convention: remote-indicator names like "1HB " start with a digit.
+  std::size_t i = 0;
+  while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]))) ++i;
+  if (i >= name.size()) return Element::Unknown;
+  if (auto e = element_from_symbol(name.substr(i, 1))) return *e;
+  return Element::Unknown;
+}
+
+int element_count() { return static_cast<int>(kElements.size()); }
+
+const ElementInfo& element_info_at(int index) {
+  SCIDOCK_ASSERT(index >= 0 && index < element_count());
+  return kElements[static_cast<std::size_t>(index)];
+}
+
+}  // namespace scidock::mol

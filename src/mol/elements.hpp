@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file elements.hpp
+/// Periodic-table data for the elements that occur in protein/ligand
+/// structures, including the metals the paper calls out (Hg receptors hang
+/// the docking programs; Zn/Fe/Mg/Ca/Mn appear in AutoDock's force field).
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace scidock::mol {
+
+enum class Element : std::uint8_t {
+  Unknown = 0,
+  H, C, N, O, F, Na, Mg, P, S, Cl, K, Ca, Mn, Fe, Zn, Br, I, Hg,
+};
+
+struct ElementInfo {
+  Element element = Element::Unknown;
+  std::string_view symbol;      ///< IUPAC symbol, e.g. "Cl"
+  int atomic_number = 0;
+  double atomic_mass = 0.0;     ///< unified amu
+  double covalent_radius = 0.0; ///< Å, for bond perception
+  double vdw_radius = 0.0;      ///< Å
+  double electronegativity = 0.0; ///< Pauling scale, for Gasteiger charges
+  bool is_metal = false;
+};
+
+/// Static properties of an element; Unknown yields a carbon-like fallback
+/// so parsers never crash on exotic atoms.
+const ElementInfo& element_info(Element e);
+
+/// Case-insensitive symbol lookup ("CL" and "Cl" both match chlorine).
+std::optional<Element> element_from_symbol(std::string_view symbol);
+
+/// Best-effort element deduction from a PDB atom name (e.g. " CA " is a
+/// calcium in a HETATM ion but an alpha-carbon in a residue; the residue
+/// flag disambiguates).
+Element element_from_pdb_atom_name(std::string_view atom_name,
+                                   bool is_standard_residue);
+
+/// Number of elements with data (for parameter-table sweeps in tests).
+int element_count();
+
+/// Iterate the full table; index in [0, element_count()).
+const ElementInfo& element_info_at(int index);
+
+}  // namespace scidock::mol

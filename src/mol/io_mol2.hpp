@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file io_mol2.hpp
+/// Sybyl MOL2 reader/writer — the output format of activity 1 (Babel
+/// SDF→MOL2 conversion) and the input of ligand preparation.
+
+#include <string>
+#include <string_view>
+
+#include "mol/molecule.hpp"
+
+namespace scidock::mol {
+
+Molecule read_mol2(std::string_view text, std::string_view name = "");
+
+std::string write_mol2(const Molecule& m);
+
+}  // namespace scidock::mol

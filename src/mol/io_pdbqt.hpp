@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file io_pdbqt.hpp
+/// AutoDock PDBQT format: PDB coordinates extended with partial charges
+/// and AutoDock atom types, plus ROOT/BRANCH/TORSDOF records encoding the
+/// ligand's torsion tree. Both docking engines consume this format.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mol/molecule.hpp"
+#include "mol/torsion.hpp"
+
+namespace scidock::mol {
+
+/// A parsed PDBQT document: molecule plus (for ligands) the torsion tree.
+struct PdbqtModel {
+  Molecule molecule;
+  TorsionTree torsions;   ///< empty tree for rigid receptors
+  int torsdof = 0;        ///< declared TORSDOF (may differ from tree size)
+  bool is_ligand = false; ///< true when ROOT/BRANCH records were present
+};
+
+PdbqtModel read_pdbqt(std::string_view text, std::string_view name = "");
+
+/// Parse a multi-MODEL document (Vina's `_out.pdbqt`): one PdbqtModel per
+/// MODEL/ENDMDL block. A document without MODEL records yields one entry.
+std::vector<PdbqtModel> read_pdbqt_models(std::string_view text,
+                                          std::string_view name = "");
+
+/// Rigid receptor serialisation: atoms only, no torsion records.
+std::string write_pdbqt_rigid(const Molecule& m);
+
+/// Flexible ligand serialisation with ROOT/BRANCH nesting and TORSDOF.
+std::string write_pdbqt_ligand(const Molecule& m, const TorsionTree& tree);
+
+}  // namespace scidock::mol

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file io_sdf.hpp
+/// MDL SDF (V2000 connection table) reader/writer. Ligands in the Table 2
+/// dataset enter the workflow in this format; activity 1 (Babel) converts
+/// them to MOL2.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mol/molecule.hpp"
+
+namespace scidock::mol {
+
+/// Parse the first molecule of an SDF document.
+Molecule read_sdf(std::string_view text, std::string_view name = "");
+
+/// Parse every record ($$$$-separated) of an SDF document.
+std::vector<Molecule> read_sdf_multi(std::string_view text);
+
+/// Serialise one molecule as a single-record SDF document.
+std::string write_sdf(const Molecule& m);
+
+}  // namespace scidock::mol

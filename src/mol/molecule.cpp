@@ -1,0 +1,313 @@
+#include "mol/molecule.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace scidock::mol {
+
+Atom& Molecule::mutable_atom(int i) {
+  invalidate();
+  return atoms_[static_cast<std::size_t>(i)];
+}
+
+int Molecule::add_atom(Atom atom) {
+  invalidate();
+  atoms_.push_back(std::move(atom));
+  return static_cast<int>(atoms_.size()) - 1;
+}
+
+void Molecule::add_bond(int a, int b, BondOrder order) {
+  SCIDOCK_ASSERT(a >= 0 && a < atom_count());
+  SCIDOCK_ASSERT(b >= 0 && b < atom_count());
+  SCIDOCK_ASSERT(a != b);
+  invalidate();
+  bonds_.push_back(Bond{a, b, order});
+}
+
+const std::vector<int>& Molecule::neighbors(int i) const {
+  SCIDOCK_ASSERT_MSG(perceived_, "call perceive() before neighbors()");
+  return adjacency_[static_cast<std::size_t>(i)];
+}
+
+bool Molecule::in_ring(int i) const {
+  SCIDOCK_ASSERT_MSG(perceived_, "call perceive() before in_ring()");
+  return in_ring_[static_cast<std::size_t>(i)];
+}
+
+void Molecule::compute_rings() {
+  // A bond is in a ring iff it is not a bridge. Tarjan bridge-finding via
+  // iterative DFS; atoms in a ring are the endpoints of non-bridge edges.
+  const int n = atom_count();
+  in_ring_.assign(static_cast<std::size_t>(n), false);
+  if (n == 0) return;
+
+  std::vector<int> disc(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> bond_is_bridge(bonds_.size(), false);
+
+  // adjacency with bond ids for parent-edge tracking
+  std::vector<std::vector<std::pair<int, int>>> adj(static_cast<std::size_t>(n));
+  for (std::size_t bi = 0; bi < bonds_.size(); ++bi) {
+    adj[static_cast<std::size_t>(bonds_[bi].a)].emplace_back(bonds_[bi].b, static_cast<int>(bi));
+    adj[static_cast<std::size_t>(bonds_[bi].b)].emplace_back(bonds_[bi].a, static_cast<int>(bi));
+  }
+
+  int timer = 0;
+  struct Frame {
+    int node;
+    int parent_bond;
+    std::size_t edge_idx;
+  };
+  std::vector<Frame> stack;
+  for (int root = 0; root < n; ++root) {
+    if (disc[static_cast<std::size_t>(root)] != -1) continue;
+    stack.push_back({root, -1, 0});
+    disc[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      const auto u = static_cast<std::size_t>(fr.node);
+      if (fr.edge_idx < adj[u].size()) {
+        const auto [v, bond_id] = adj[u][fr.edge_idx++];
+        if (bond_id == fr.parent_bond) continue;
+        const auto vs = static_cast<std::size_t>(v);
+        if (disc[vs] == -1) {
+          disc[vs] = low[vs] = timer++;
+          stack.push_back({v, bond_id, 0});
+        } else {
+          low[u] = std::min(low[u], disc[vs]);
+        }
+      } else {
+        const Frame done = fr;
+        stack.pop_back();
+        if (!stack.empty()) {
+          const auto p = static_cast<std::size_t>(stack.back().node);
+          low[p] = std::min(low[p], low[static_cast<std::size_t>(done.node)]);
+          if (low[static_cast<std::size_t>(done.node)] > disc[p]) {
+            bond_is_bridge[static_cast<std::size_t>(done.parent_bond)] = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t bi = 0; bi < bonds_.size(); ++bi) {
+    if (!bond_is_bridge[bi]) {
+      in_ring_[static_cast<std::size_t>(bonds_[bi].a)] = true;
+      in_ring_[static_cast<std::size_t>(bonds_[bi].b)] = true;
+    }
+  }
+}
+
+void Molecule::perceive(bool retype) {
+  if (perceived_) return;
+  const int n = atom_count();
+  adjacency_.assign(static_cast<std::size_t>(n), {});
+  for (const Bond& b : bonds_) {
+    adjacency_[static_cast<std::size_t>(b.a)].push_back(b.b);
+    adjacency_[static_cast<std::size_t>(b.b)].push_back(b.a);
+  }
+  compute_rings();
+
+  // Aromaticity heuristic: ring carbons/nitrogens that carry an explicit
+  // aromatic bond, or ring atoms whose every ring neighbour is sp2-ish
+  // (degree <= 3). Full Hückel perception is out of scope; this matches
+  // what AD4's type assignment needs (C vs A).
+  aromatic_.assign(static_cast<std::size_t>(n), false);
+  for (const Bond& b : bonds_) {
+    if (b.order == BondOrder::Aromatic) {
+      aromatic_[static_cast<std::size_t>(b.a)] = true;
+      aromatic_[static_cast<std::size_t>(b.b)] = true;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    if (aromatic_[is] || !in_ring_[is]) continue;
+    const Element e = atoms_[is].element;
+    if (e != Element::C && e != Element::N) continue;
+    if (adjacency_[is].size() <= 3) aromatic_[is] = true;
+  }
+
+  // Assign AutoDock types from context.
+  for (int i = 0; retype && i < n; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    AtomContext ctx;
+    ctx.element = atoms_[is].element;
+    ctx.aromatic = aromatic_[is];
+    for (int nb : adjacency_[is]) {
+      const Atom& other = atoms_[static_cast<std::size_t>(nb)];
+      if (other.element != Element::H) ++ctx.heavy_degree;
+      if (other.element == Element::H) ctx.has_hydrogen = true;
+      if (other.element == Element::N || other.element == Element::O ||
+          other.element == Element::S) {
+        ctx.bonded_to_hetero = true;
+      }
+    }
+    atoms_[is].ad_type = assign_ad_type(ctx);
+  }
+  perceived_ = true;
+}
+
+void Molecule::infer_bonds_from_geometry(double tolerance) {
+  invalidate();
+  bonds_.clear();
+  const int n = atom_count();
+  // Spatial hashing on a 4 Å grid bounds the pair search; covalent bonds
+  // never exceed ~2.6 Å + tolerance.
+  const double cell = 4.0;
+  struct CellKey {
+    long long x, y, z;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const CellKey& k) const {
+      std::uint64_t h = 1469598103934665603ULL;
+      for (long long v : {k.x, k.y, k.z}) {
+        h ^= static_cast<std::uint64_t>(v);
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<CellKey, std::vector<int>, CellHash> grid;
+  auto key_of = [cell](const Vec3& p) {
+    return CellKey{static_cast<long long>(std::floor(p.x / cell)),
+                   static_cast<long long>(std::floor(p.y / cell)),
+                   static_cast<long long>(std::floor(p.z / cell))};
+  };
+  for (int i = 0; i < n; ++i) {
+    grid[key_of(atoms_[static_cast<std::size_t>(i)].pos)].push_back(i);
+  }
+  for (int i = 0; i < n; ++i) {
+    const Atom& ai = atoms_[static_cast<std::size_t>(i)];
+    const CellKey kc = key_of(ai.pos);
+    const double ri = element_info(ai.element).covalent_radius;
+    for (long long dx = -1; dx <= 1; ++dx)
+      for (long long dy = -1; dy <= 1; ++dy)
+        for (long long dz = -1; dz <= 1; ++dz) {
+          const auto it = grid.find(CellKey{kc.x + dx, kc.y + dy, kc.z + dz});
+          if (it == grid.end()) continue;
+          for (int j : it->second) {
+            if (j <= i) continue;
+            const Atom& aj = atoms_[static_cast<std::size_t>(j)];
+            if (ai.element == Element::H && aj.element == Element::H) continue;
+            const double rj = element_info(aj.element).covalent_radius;
+            const double cutoff = ri + rj + tolerance;
+            if (distance_sq(ai.pos, aj.pos) <= cutoff * cutoff) {
+              bonds_.push_back(Bond{i, j, BondOrder::Single});
+            }
+          }
+        }
+  }
+}
+
+Vec3 Molecule::center() const {
+  SCIDOCK_ASSERT(!atoms_.empty());
+  Vec3 sum{};
+  for (const Atom& a : atoms_) sum += a.pos;
+  return sum / static_cast<double>(atoms_.size());
+}
+
+Aabb Molecule::bounds() const {
+  SCIDOCK_ASSERT(!atoms_.empty());
+  Aabb box{atoms_[0].pos, atoms_[0].pos};
+  for (const Atom& a : atoms_) {
+    box.lo.x = std::min(box.lo.x, a.pos.x);
+    box.lo.y = std::min(box.lo.y, a.pos.y);
+    box.lo.z = std::min(box.lo.z, a.pos.z);
+    box.hi.x = std::max(box.hi.x, a.pos.x);
+    box.hi.y = std::max(box.hi.y, a.pos.y);
+    box.hi.z = std::max(box.hi.z, a.pos.z);
+  }
+  return box;
+}
+
+double Molecule::radius_of_gyration() const {
+  const Vec3 c = center();
+  double acc = 0.0;
+  for (const Atom& a : atoms_) acc += distance_sq(a.pos, c);
+  return std::sqrt(acc / static_cast<double>(atoms_.size()));
+}
+
+double Molecule::molecular_weight() const {
+  double w = 0.0;
+  for (const Atom& a : atoms_) w += element_info(a.element).atomic_mass;
+  return w;
+}
+
+int Molecule::heavy_atom_count() const {
+  int n = 0;
+  for (const Atom& a : atoms_) {
+    if (a.element != Element::H) ++n;
+  }
+  return n;
+}
+
+bool Molecule::contains_element(Element e) const {
+  return std::any_of(atoms_.begin(), atoms_.end(),
+                     [e](const Atom& a) { return a.element == e; });
+}
+
+bool Molecule::fully_parameterised() const {
+  SCIDOCK_ASSERT_MSG(perceived_, "call perceive() before fully_parameterised()");
+  return std::all_of(atoms_.begin(), atoms_.end(), [](const Atom& a) {
+    return ad_type_params(a.ad_type).supported;
+  });
+}
+
+void Molecule::translate(const Vec3& delta) {
+  for (Atom& a : atoms_) a.pos += delta;
+}
+
+void Molecule::rotate(const Quaternion& q, const Vec3& origin) {
+  for (Atom& a : atoms_) a.pos = q.rotate(a.pos - origin) + origin;
+}
+
+std::vector<Vec3> Molecule::coordinates() const {
+  std::vector<Vec3> out;
+  out.reserve(atoms_.size());
+  for (const Atom& a : atoms_) out.push_back(a.pos);
+  return out;
+}
+
+void Molecule::set_coordinates(const std::vector<Vec3>& coords) {
+  SCIDOCK_ASSERT(coords.size() == atoms_.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) atoms_[i].pos = coords[i];
+}
+
+std::vector<AdType> Molecule::ad_types_present() const {
+  SCIDOCK_ASSERT_MSG(perceived_, "call perceive() before ad_types_present()");
+  std::array<bool, kAdTypeCount> seen{};
+  for (const Atom& a : atoms_) seen[static_cast<std::size_t>(a.ad_type)] = true;
+  std::vector<AdType> out;
+  for (int t = 0; t < kAdTypeCount; ++t) {
+    if (seen[static_cast<std::size_t>(t)]) out.push_back(static_cast<AdType>(t));
+  }
+  return out;
+}
+
+double rmsd(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  SCIDOCK_ASSERT(a.size() == b.size());
+  SCIDOCK_ASSERT(!a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += distance_sq(a[i], b[i]);
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double heavy_atom_rmsd(const Molecule& a, const Molecule& b) {
+  SCIDOCK_ASSERT(a.atom_count() == b.atom_count());
+  double acc = 0.0;
+  int n = 0;
+  for (int i = 0; i < a.atom_count(); ++i) {
+    if (a.atom(i).element == Element::H) continue;
+    acc += distance_sq(a.atom(i).pos, b.atom(i).pos);
+    ++n;
+  }
+  SCIDOCK_ASSERT(n > 0);
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+}  // namespace scidock::mol

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file molecule.hpp
+/// The central molecule model shared by ligands and receptors.
+///
+/// A Molecule is a flat atom array plus an explicit bond list. Perception
+/// (adjacency, ring membership, aromaticity, AutoDock typing) is computed
+/// on demand by perceive() and cached; mutating atoms/bonds invalidates the
+/// cache.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mol/atom_typing.hpp"
+#include "mol/elements.hpp"
+#include "mol/geometry.hpp"
+
+namespace scidock::mol {
+
+struct Atom {
+  int serial = 0;               ///< original file serial (1-based)
+  std::string name;             ///< PDB atom name, e.g. "CA"
+  Element element = Element::Unknown;
+  Vec3 pos{};
+  double partial_charge = 0.0;  ///< e units (Gasteiger-style)
+  AdType ad_type = AdType::C;   ///< valid after perceive()/typing
+
+  // Receptor context (empty/zero for small-molecule ligands).
+  std::string residue_name;     ///< e.g. "CYS"
+  int residue_seq = 0;
+  char chain_id = 'A';
+  bool hetero = false;          ///< HETATM record
+};
+
+enum class BondOrder : std::uint8_t { Single = 1, Double = 2, Triple = 3, Aromatic = 4 };
+
+struct Bond {
+  int a = 0;   ///< atom index (0-based)
+  int b = 0;
+  BondOrder order = BondOrder::Single;
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int atom_count() const { return static_cast<int>(atoms_.size()); }
+  int bond_count() const { return static_cast<int>(bonds_.size()); }
+
+  const Atom& atom(int i) const { return atoms_[static_cast<std::size_t>(i)]; }
+  Atom& mutable_atom(int i);
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Bond>& bonds() const { return bonds_; }
+
+  /// Appends an atom, returns its index.
+  int add_atom(Atom atom);
+  /// Appends a bond between existing atom indices.
+  void add_bond(int a, int b, BondOrder order = BondOrder::Single);
+
+  /// Neighbour indices of atom i (valid after perceive()).
+  const std::vector<int>& neighbors(int i) const;
+
+  /// True if atom i belongs to any ring (valid after perceive()).
+  bool in_ring(int i) const;
+
+  /// Derive adjacency, ring membership, aromaticity heuristics, and assign
+  /// AutoDock atom types. Idempotent; called automatically by consumers
+  /// that need typing. Pass retype = false to keep existing ad_type values
+  /// (molecules read from PDBQT already carry authoritative types).
+  void perceive(bool retype = true);
+  bool perceived() const { return perceived_; }
+
+  /// Infer bonds from interatomic distances and covalent radii (used when
+  /// reading PDB files, which carry no CONECT records for most atoms).
+  /// Tolerance is the slack added to the radius sum, in Å.
+  void infer_bonds_from_geometry(double tolerance = 0.45);
+
+  // ---- Whole-molecule geometry ----
+  Vec3 center() const;
+  Aabb bounds() const;
+  double radius_of_gyration() const;
+  double molecular_weight() const;
+  int heavy_atom_count() const;
+  /// True if any atom is the given element (the Hg hazard check).
+  bool contains_element(Element e) const;
+  /// True if every atom's AutoDock type is parameterised.
+  bool fully_parameterised() const;
+
+  void translate(const Vec3& delta);
+  /// Rotate all coordinates about `origin`.
+  void rotate(const Quaternion& q, const Vec3& origin);
+
+  /// Positions of all atoms, in order (copy).
+  std::vector<Vec3> coordinates() const;
+  /// Overwrite all coordinates (size must match atom_count()).
+  void set_coordinates(const std::vector<Vec3>& coords);
+
+  /// Distinct AutoDock types present, in enum order (after perceive()).
+  std::vector<AdType> ad_types_present() const;
+
+ private:
+  void invalidate() { perceived_ = false; }
+  void compute_rings();
+
+  std::string name_;
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+
+  // Perception cache.
+  bool perceived_ = false;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<bool> in_ring_;
+  std::vector<bool> aromatic_;
+};
+
+/// Root-mean-square deviation between two equally-sized coordinate sets,
+/// no superposition (the AutoDock convention for docking-pose RMSD).
+double rmsd(const std::vector<Vec3>& a, const std::vector<Vec3>& b);
+
+/// RMSD over heavy atoms only, matching atoms by index.
+double heavy_atom_rmsd(const Molecule& a, const Molecule& b);
+
+}  // namespace scidock::mol

@@ -1,0 +1,205 @@
+#include "mol/torsion.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace scidock::mol {
+
+namespace {
+
+/// Collect the atom set reachable from `start` without crossing the bond
+/// (block_a, block_b) in either direction.
+std::vector<int> reachable_without_bond(const Molecule& m, int start,
+                                        int block_a, int block_b) {
+  std::vector<bool> seen(static_cast<std::size_t>(m.atom_count()), false);
+  std::deque<int> queue{start};
+  seen[static_cast<std::size_t>(start)] = true;
+  std::vector<int> out;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    out.push_back(u);
+    for (int v : m.neighbors(u)) {
+      if ((u == block_a && v == block_b) || (u == block_b && v == block_a)) {
+        continue;
+      }
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+int heavy_count(const Molecule& m, const std::vector<int>& atoms) {
+  int n = 0;
+  for (int i : atoms) {
+    if (m.atom(i).element != Element::H) ++n;
+  }
+  return n;
+}
+
+bool is_amide_like(const Molecule& m, int a, int b) {
+  // C-N bond where the carbon also binds a double-bonded oxygen: the
+  // classic non-rotatable amide. Bond orders from SDF/MOL2 make this exact;
+  // geometry-inferred bonds (all Single) simply skip the check.
+  auto check = [&m](int carbon, int nitrogen) {
+    if (m.atom(carbon).element != Element::C ||
+        m.atom(nitrogen).element != Element::N) {
+      return false;
+    }
+    for (const Bond& bd : m.bonds()) {
+      if (bd.order != BondOrder::Double) continue;
+      const int other = bd.a == carbon ? bd.b : (bd.b == carbon ? bd.a : -1);
+      if (other >= 0 && m.atom(other).element == Element::O) return true;
+    }
+    return false;
+  };
+  return check(a, b) || check(b, a);
+}
+
+}  // namespace
+
+TorsionTree TorsionTree::build(const Molecule& m, int min_fragment) {
+  SCIDOCK_ASSERT_MSG(m.perceived(), "perceive() the molecule before building a torsion tree");
+  TorsionTree tree;
+
+  // 1. Find rotatable bonds.
+  struct RotBond {
+    int a, b;
+  };
+  std::vector<RotBond> rotatable;
+  for (const Bond& b : m.bonds()) {
+    if (b.order != BondOrder::Single) continue;
+    if (m.atom(b.a).element == Element::H || m.atom(b.b).element == Element::H) continue;
+    if (is_amide_like(m, b.a, b.b)) continue;
+    const std::vector<int> side_a = reachable_without_bond(m, b.a, b.a, b.b);
+    // Ring bonds are rigid: removing a bond that belongs to a cycle does
+    // not split the molecule, so the far endpoint stays reachable.
+    if (std::find(side_a.begin(), side_a.end(), b.b) != side_a.end()) continue;
+    const std::vector<int> side_b = reachable_without_bond(m, b.b, b.a, b.b);
+    if (heavy_count(m, side_a) < min_fragment || heavy_count(m, side_b) < min_fragment) {
+      continue;
+    }
+    rotatable.push_back({b.a, b.b});
+  }
+
+  // 2. Rigid fragments = connected components after deleting rotatable bonds.
+  const int n = m.atom_count();
+  std::vector<int> fragment(static_cast<std::size_t>(n), -1);
+  auto is_rotatable = [&rotatable](int u, int v) {
+    for (const RotBond& rb : rotatable) {
+      if ((rb.a == u && rb.b == v) || (rb.a == v && rb.b == u)) return true;
+    }
+    return false;
+  };
+  int fragment_count = 0;
+  for (int start = 0; start < n; ++start) {
+    if (fragment[static_cast<std::size_t>(start)] != -1) continue;
+    const int id = fragment_count++;
+    std::deque<int> queue{start};
+    fragment[static_cast<std::size_t>(start)] = id;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int v : m.neighbors(u)) {
+        if (fragment[static_cast<std::size_t>(v)] != -1) continue;
+        if (is_rotatable(u, v)) continue;
+        fragment[static_cast<std::size_t>(v)] = id;
+        queue.push_back(v);
+      }
+    }
+  }
+
+  // 3. Root = largest fragment (MGLTools default heuristic).
+  std::vector<int> frag_size(static_cast<std::size_t>(fragment_count), 0);
+  for (int i = 0; i < n; ++i) ++frag_size[static_cast<std::size_t>(fragment[static_cast<std::size_t>(i)])];
+  const int root_frag = static_cast<int>(std::distance(
+      frag_size.begin(), std::max_element(frag_size.begin(), frag_size.end())));
+  for (int i = 0; i < n; ++i) {
+    if (fragment[static_cast<std::size_t>(i)] == root_frag) tree.root_atoms_.push_back(i);
+  }
+
+  // 4. BFS from the root across rotatable bonds defines branch order
+  //    (preorder: parents before children).
+  std::vector<bool> frag_done(static_cast<std::size_t>(fragment_count), false);
+  frag_done[static_cast<std::size_t>(root_frag)] = true;
+  std::deque<std::pair<int, int>> frontier;  // (fragment id, parent branch)
+  frontier.emplace_back(root_frag, -1);
+  while (!frontier.empty()) {
+    const auto [frag_id, parent_branch] = frontier.front();
+    frontier.pop_front();
+    for (const RotBond& rb : rotatable) {
+      const int fa = fragment[static_cast<std::size_t>(rb.a)];
+      const int fb = fragment[static_cast<std::size_t>(rb.b)];
+      int from = -1, to = -1;
+      if (fa == frag_id && !frag_done[static_cast<std::size_t>(fb)]) {
+        from = rb.a;
+        to = rb.b;
+      } else if (fb == frag_id && !frag_done[static_cast<std::size_t>(fa)]) {
+        from = rb.b;
+        to = rb.a;
+      } else {
+        continue;
+      }
+      TorsionBranch branch;
+      branch.atom_from = from;
+      branch.atom_to = to;
+      branch.parent = parent_branch;
+      branch.moving_atoms = reachable_without_bond(m, to, from, to);
+      // The pivot atom itself lies on the axis; rotating it is a no-op but
+      // excluding it keeps the moving set semantically "what changes".
+      std::erase(branch.moving_atoms, to);
+      tree.branches_.push_back(std::move(branch));
+      const int this_branch = static_cast<int>(tree.branches_.size()) - 1;
+      const int next_frag = fragment[static_cast<std::size_t>(to)];
+      frag_done[static_cast<std::size_t>(next_frag)] = true;
+      frontier.emplace_back(next_frag, this_branch);
+    }
+  }
+  return tree;
+}
+
+TorsionTree TorsionTree::from_branches(std::vector<TorsionBranch> branches,
+                                       std::vector<int> root_atoms) {
+  TorsionTree tree;
+  tree.branches_ = std::move(branches);
+  tree.root_atoms_ = std::move(root_atoms);
+  return tree;
+}
+
+std::vector<Vec3> TorsionTree::apply(const std::vector<Vec3>& reference,
+                                     const Pose& pose,
+                                     const std::vector<double>& torsion_angles) const {
+  SCIDOCK_ASSERT(static_cast<int>(torsion_angles.size()) == torsion_count());
+  std::vector<Vec3> coords = reference;
+
+  // Torsions first (about axes in the reference frame, parents before
+  // children so child axes are taken from already-rotated coordinates) ...
+  for (std::size_t bi = 0; bi < branches_.size(); ++bi) {
+    const TorsionBranch& br = branches_[bi];
+    const Vec3 origin = coords[static_cast<std::size_t>(br.atom_from)];
+    const Vec3 axis = coords[static_cast<std::size_t>(br.atom_to)] - origin;
+    const Quaternion q = Quaternion::from_axis_angle(axis, torsion_angles[bi]);
+    for (int atom : br.moving_atoms) {
+      auto& p = coords[static_cast<std::size_t>(atom)];
+      p = q.rotate(p - origin) + origin;
+    }
+  }
+
+  // ... then the rigid-body pose about the root-fragment centroid. A rigid
+  // transform preserves the internal geometry the torsions just set.
+  std::vector<Vec3> root_ref;
+  root_ref.reserve(root_atoms_.size());
+  for (int i : root_atoms_) root_ref.push_back(reference[static_cast<std::size_t>(i)]);
+  const Vec3 root_center = root_ref.empty() ? Vec3{} : centroid(root_ref);
+  for (Vec3& p : coords) {
+    p = pose.rotation.rotate(p - root_center) + root_center + pose.translation;
+  }
+  return coords;
+}
+
+}  // namespace scidock::mol

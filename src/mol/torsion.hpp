@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file torsion.hpp
+/// Rotatable-bond detection and the torsion tree ("BRANCH tree") that
+/// PDBQT files encode and that both docking engines search over.
+///
+/// A ligand conformation is parameterised as: a rigid root fragment posed
+/// by (rotation, translation) plus one dihedral angle per rotatable bond.
+/// apply() maps a parameter vector to concrete atom coordinates.
+
+#include <vector>
+
+#include "mol/geometry.hpp"
+#include "mol/molecule.hpp"
+
+namespace scidock::mol {
+
+/// One rotatable bond: rotating `moving_atoms` about the axis
+/// atom_from -> atom_to. Branches are ordered so that a parent branch's
+/// rotation is applied before its children (preorder).
+struct TorsionBranch {
+  int atom_from = 0;              ///< fixed-side pivot atom index
+  int atom_to = 0;                ///< moving-side pivot atom index
+  std::vector<int> moving_atoms;  ///< atoms displaced by this torsion
+  int parent = -1;                ///< index of parent branch, -1 = root
+};
+
+class TorsionTree {
+ public:
+  /// Build from a perceived molecule. Rotatable bonds are acyclic single
+  /// bonds whose removal leaves >= `min_fragment` heavy atoms on each side
+  /// (terminal bonds like -CH3 are not worth a degree of freedom in AD4's
+  /// default TORSDOF counting; min_fragment=2 reproduces that).
+  static TorsionTree build(const Molecule& m, int min_fragment = 2);
+
+  /// Assemble directly from branch records (used by the PDBQT reader,
+  /// which recovers the tree from ROOT/BRANCH markers).
+  static TorsionTree from_branches(std::vector<TorsionBranch> branches,
+                                   std::vector<int> root_atoms);
+
+  int torsion_count() const { return static_cast<int>(branches_.size()); }
+  const std::vector<TorsionBranch>& branches() const { return branches_; }
+  const std::vector<int>& root_atoms() const { return root_atoms_; }
+
+  /// Degrees of freedom of the full pose: 3 translation + 3 rotation +
+  /// one per torsion (the "TORSDOF" of PDBQT).
+  int degrees_of_freedom() const { return 6 + torsion_count(); }
+
+  /// Produce coordinates from reference coordinates + pose + torsions.
+  /// `torsion_angles` must have torsion_count() entries (radians).
+  /// The rigid pose rotates about the reference root-fragment centroid.
+  std::vector<Vec3> apply(const std::vector<Vec3>& reference,
+                          const Pose& pose,
+                          const std::vector<double>& torsion_angles) const;
+
+ private:
+  std::vector<TorsionBranch> branches_;
+  std::vector<int> root_atoms_;
+};
+
+}  // namespace scidock::mol

@@ -1,0 +1,168 @@
+#include "prov/prov.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::prov {
+
+using sql::Value;
+
+ProvenanceStore::ProvenanceStore() {
+  db_.create_table("hmachine", {"vmid", "type", "cores", "speed_factor"});
+  db_.create_table("hworkflow",
+                   {"wkfid", "tag", "description", "expdir", "starttime", "endtime"});
+  db_.create_table("hactivity", {"actid", "wkfid", "tag", "activation", "op"});
+  db_.create_table("hactivation",
+                   {"taskid", "actid", "wkfid", "starttime", "endtime",
+                    "status", "vmid", "exitcode", "attempts", "workload"});
+  db_.create_table("hfile",
+                   {"fileid", "wkfid", "actid", "taskid", "fname", "fsize", "fdir"});
+  db_.create_table("hvalue",
+                   {"valueid", "taskid", "key", "value_num", "value_text"});
+}
+
+sql::ResultSet ProvenanceStore::query(std::string_view sql_text) {
+  std::lock_guard lock(mutex_);
+  sql::Engine engine(db_);
+  return engine.execute(sql_text);
+}
+
+long long ProvenanceStore::begin_workflow(std::string_view tag,
+                                          std::string_view description,
+                                          std::string_view expdir, double now) {
+  std::lock_guard lock(mutex_);
+  const long long id = next_wkfid_++;
+  db_.table("hworkflow")
+      .insert({Value(id), Value(std::string(tag)), Value(std::string(description)),
+               Value(std::string(expdir)), Value(now), Value()});
+  return id;
+}
+
+void ProvenanceStore::end_workflow(long long wkfid, double now) {
+  std::lock_guard lock(mutex_);
+  sql::Table& t = db_.table("hworkflow");
+  const auto id_col = static_cast<std::size_t>(t.column_index("wkfid"));
+  const auto end_col = static_cast<std::size_t>(t.column_index("endtime"));
+  for (auto& row : t.mutable_rows()) {
+    if (row[id_col].as_int() == wkfid) {
+      row[end_col] = Value(now);
+      return;
+    }
+  }
+  throw NotFoundError("workflow", std::to_string(wkfid));
+}
+
+long long ProvenanceStore::register_activity(long long wkfid, std::string_view tag,
+                                             std::string_view activation_command,
+                                             std::string_view op) {
+  std::lock_guard lock(mutex_);
+  const long long id = next_actid_++;
+  db_.table("hactivity")
+      .insert({Value(id), Value(wkfid), Value(std::string(tag)),
+               Value(std::string(activation_command)), Value(std::string(op))});
+  return id;
+}
+
+long long ProvenanceStore::begin_activation(long long actid, long long wkfid,
+                                            double now, long long vmid,
+                                            std::string_view workload) {
+  std::lock_guard lock(mutex_);
+  const long long id = next_taskid_++;
+  db_.table("hactivation")
+      .insert({Value(id), Value(actid), Value(wkfid), Value(now), Value(),
+               Value(std::string(kStatusRunning)), Value(vmid), Value(0),
+               Value(1), Value(std::string(workload))});
+  return id;
+}
+
+void ProvenanceStore::end_activation(long long taskid, double now,
+                                     std::string_view status, int exitcode,
+                                     int attempts) {
+  std::lock_guard lock(mutex_);
+  sql::Table& t = db_.table("hactivation");
+  const auto id_col = static_cast<std::size_t>(t.column_index("taskid"));
+  for (auto& row : t.mutable_rows()) {
+    if (row[id_col].as_int() == taskid) {
+      row[static_cast<std::size_t>(t.column_index("endtime"))] = Value(now);
+      row[static_cast<std::size_t>(t.column_index("status"))] = Value(std::string(status));
+      row[static_cast<std::size_t>(t.column_index("exitcode"))] = Value(exitcode);
+      row[static_cast<std::size_t>(t.column_index("attempts"))] = Value(attempts);
+      return;
+    }
+  }
+  throw NotFoundError("activation", std::to_string(taskid));
+}
+
+void ProvenanceStore::record_machine(long long vmid, std::string_view type,
+                                     int cores, double speed_factor) {
+  std::lock_guard lock(mutex_);
+  db_.table("hmachine")
+      .insert({Value(vmid), Value(std::string(type)), Value(cores), Value(speed_factor)});
+}
+
+void ProvenanceStore::record_file(long long wkfid, long long actid,
+                                  long long taskid, std::string_view fname,
+                                  std::size_t fsize, std::string_view fdir) {
+  std::lock_guard lock(mutex_);
+  db_.table("hfile").insert({Value(next_fileid_++), Value(wkfid), Value(actid),
+                             Value(taskid), Value(std::string(fname)),
+                             Value(fsize), Value(std::string(fdir))});
+}
+
+std::string ProvenanceStore::export_prov_n() {
+  std::lock_guard lock(mutex_);
+  sql::Engine engine(db_);
+  std::string out = "document\n  prefix scidock <urn:scidock:>\n\n";
+
+  for (const sql::Row& row :
+       engine.execute("SELECT wkfid, tag, starttime, endtime FROM hworkflow").rows) {
+    out += strformat("  activity(scidock:workflow/%lld, [prov:label=\"%s\"])\n",
+                     static_cast<long long>(row[0].as_int()),
+                     row[1].as_string().c_str());
+  }
+  for (const sql::Row& row :
+       engine.execute("SELECT vmid, type FROM hmachine").rows) {
+    out += strformat("  agent(scidock:vm/%lld, [prov:type=\"%s\"])\n",
+                     static_cast<long long>(row[0].as_int()),
+                     row[1].as_string().c_str());
+  }
+  for (const sql::Row& row :
+       engine
+           .execute("SELECT t.taskid, a.tag, t.starttime, t.endtime, t.vmid, "
+                    "t.status FROM hactivity a, hactivation t "
+                    "WHERE a.actid = t.actid")
+           .rows) {
+    const long long taskid = row[0].as_int();
+    out += strformat(
+        "  activity(scidock:activation/%lld, [prov:label=\"%s\", "
+        "scidock:status=\"%s\"])\n",
+        taskid, row[1].as_string().c_str(), row[5].as_string().c_str());
+    if (row[4].as_int() > 0) {
+      out += strformat(
+          "  wasAssociatedWith(scidock:activation/%lld, scidock:vm/%lld, -)\n",
+          taskid, static_cast<long long>(row[4].as_int()));
+    }
+  }
+  for (const sql::Row& row :
+       engine.execute("SELECT fileid, fname, fdir, taskid FROM hfile").rows) {
+    const long long fileid = row[0].as_int();
+    out += strformat(
+        "  entity(scidock:file/%lld, [prov:label=\"%s%s\"])\n", fileid,
+        row[2].as_string().c_str(), row[1].as_string().c_str());
+    out += strformat(
+        "  wasGeneratedBy(scidock:file/%lld, scidock:activation/%lld, -)\n",
+        fileid, static_cast<long long>(row[3].as_int()));
+  }
+  out += "endDocument\n";
+  return out;
+}
+
+void ProvenanceStore::record_value(long long taskid, std::string_view key,
+                                   double value_num, std::string_view value_text) {
+  std::lock_guard lock(mutex_);
+  db_.table("hvalue").insert({Value(next_valueid_++), Value(taskid),
+                              Value(std::string(key)), Value(value_num),
+                              Value(std::string(value_text))});
+}
+
+}  // namespace scidock::prov

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file prov.hpp
+/// The provenance repository: a PROV-Wf relational schema (Missier et al.;
+/// Oliveira et al.) hosted on the scidock SQL engine — the PostgreSQL
+/// stand-in the paper's Queries 1 and 2 run against.
+///
+/// Schema (column names match the paper's queries exactly):
+///   hmachine    (vmid, type, cores, speed_factor)
+///   hworkflow   (wkfid, tag, description, expdir, starttime, endtime)
+///   hactivity   (actid, wkfid, tag, activation, op)
+///   hactivation (taskid, actid, wkfid, starttime, endtime, status,
+///                vmid, exitcode, attempts, workload)
+///   hfile       (fileid, wkfid, actid, taskid, fname, fsize, fdir)
+///   hvalue      (valueid, taskid, key, value_num, value_text)
+///
+/// Timestamps are doubles: seconds since the experiment epoch, so the
+/// paper's `extract('epoch' from (t.endtime - t.starttime))` evaluates to
+/// the activation duration in seconds.
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "sql/engine.hpp"
+#include "sql/table.hpp"
+
+namespace scidock::prov {
+
+/// Activation lifecycle status values stored in hactivation.status.
+inline constexpr std::string_view kStatusRunning = "RUNNING";
+inline constexpr std::string_view kStatusFinished = "FINISHED";
+inline constexpr std::string_view kStatusFailed = "FAILED";
+inline constexpr std::string_view kStatusAborted = "ABORTED";  ///< hang killed
+
+class ProvenanceStore {
+ public:
+  ProvenanceStore();
+
+  /// Run any SQL against the repository (the user-facing query interface;
+  /// safe to call *during* workflow execution — the paper's runtime
+  /// steering feature).
+  sql::ResultSet query(std::string_view sql_text);
+
+  // ---- recording API (thread-safe) ----
+  long long begin_workflow(std::string_view tag, std::string_view description,
+                           std::string_view expdir, double now);
+  void end_workflow(long long wkfid, double now);
+
+  long long register_activity(long long wkfid, std::string_view tag,
+                              std::string_view activation_command,
+                              std::string_view op);
+
+  long long begin_activation(long long actid, long long wkfid, double now,
+                             long long vmid, std::string_view workload);
+  void end_activation(long long taskid, double now, std::string_view status,
+                      int exitcode, int attempts);
+
+  void record_machine(long long vmid, std::string_view type, int cores,
+                      double speed_factor);
+  void record_file(long long wkfid, long long actid, long long taskid,
+                   std::string_view fname, std::size_t fsize,
+                   std::string_view fdir);
+  void record_value(long long taskid, std::string_view key, double value_num,
+                    std::string_view value_text);
+
+  /// Serialise the repository in W3C PROV-N notation (the standard the
+  /// paper's PROV-Wf schema instantiates): workflows and activations as
+  /// prov:Activity, files as prov:Entity with wasGeneratedBy, VMs as
+  /// prov:Agent with wasAssociatedWith.
+  std::string export_prov_n();
+
+  /// Direct access for tests and custom analytics.
+  sql::Database& database() { return db_; }
+
+ private:
+  std::mutex mutex_;
+  sql::Database db_;
+  long long next_wkfid_ = 1;
+  long long next_actid_ = 1;
+  long long next_taskid_ = 1;
+  long long next_fileid_ = 1;
+  long long next_valueid_ = 1;
+};
+
+}  // namespace scidock::prov

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file analysis.hpp
+/// Result analysis: the Table 3 statistics (favourable interactions,
+/// average FEB, average RMSD per ligand) computed from workflow outputs,
+/// and the paper's provenance queries (Query 1, Query 2, the Figure 5
+/// histogram query) as ready-to-run SQL.
+
+#include <string>
+#include <vector>
+
+#include "prov/prov.hpp"
+#include "wf/relation.hpp"
+
+namespace scidock::core {
+
+/// One Table 3 row for one engine.
+struct Table3Row {
+  std::string ligand;
+  int total_pairs = 0;
+  int favorable = 0;      ///< count of FEB < 0 ("Total Number of FEB (-)")
+  double avg_feb_neg = 0.0;  ///< mean FEB over the favourable subset
+  double avg_rmsd = 0.0;     ///< mean RMSD over all docked pairs
+};
+
+/// Aggregate an output relation (fields: ligand, feb, rmsd) per ligand.
+std::vector<Table3Row> table3_from_relation(const wf::Relation& output);
+
+/// Render rows as an aligned text table (the bench output format).
+std::string render_table3(const std::vector<Table3Row>& ad4,
+                          const std::vector<Table3Row>& vina);
+
+// ---------------------------------------------------------------------
+// The paper's queries, verbatim modulo schema-documented column names.
+// ---------------------------------------------------------------------
+
+/// §V.C histogram query: activation durations of one workflow, in end
+/// order (drives Figure 5).
+std::string figure5_query(long long wkfid);
+
+/// Query 1 (Figure 10): per-activity min/max/sum/avg durations.
+std::string query1(long long wkfid);
+
+/// Query 2 (Figure 11): names, sizes and locations of the '.dlg' files
+/// with their producing workflow and activity.
+std::string query2();
+
+}  // namespace scidock::core

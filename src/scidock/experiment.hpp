@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file experiment.hpp
+/// End-to-end experiment drivers: stage the dataset, build the pipeline,
+/// run it (natively or on the cloud simulator) and hand back reports.
+/// These are the entry points the examples and benches call.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prov/prov.hpp"
+#include "scidock/scidock.hpp"
+#include "vfs/vfs.hpp"
+#include "wf/native_executor.hpp"
+#include "wf/sim_executor.hpp"
+
+namespace scidock::core {
+
+/// A fully wired experiment environment (shared FS + provenance store +
+/// pipeline + staged dataset + input relation).
+struct Experiment {
+  ScidockOptions options;
+  std::shared_ptr<vfs::SharedFileSystem> fs;
+  std::shared_ptr<prov::ProvenanceStore> prov;
+  std::shared_ptr<ArtifactCache> cache;
+  wf::Pipeline pipeline;
+  wf::Relation pairs;
+};
+
+/// Stage receptors/ligands into a fresh VFS and build the input relation
+/// over their cross product (max_pairs = 0 means all combinations).
+Experiment make_experiment(const std::vector<std::string>& receptors,
+                           const std::vector<std::string>& ligands,
+                           std::size_t max_pairs, ScidockOptions options = {});
+
+/// Run the experiment natively (real docking) on `threads` workers.
+wf::NativeReport run_native(Experiment& exp, int threads,
+                            const std::string& workflow_tag = "SciDock");
+
+/// Replay the experiment on the cloud simulator with `virtual_cores`
+/// total cores (the paper's 2..128 sweep). The pipeline's routing fields
+/// must already be in the relation (they are, via build_pairs_relation).
+wf::SimReport run_simulated(const Experiment& exp, int virtual_cores,
+                            prov::ProvenanceStore* prov_store = nullptr,
+                            wf::SimExecutorOptions sim_options = {},
+                            const std::string& workflow_tag = "SciDock-sim");
+
+/// Default simulation options for a given core count: m3 fleet, greedy
+/// scheduler, the paper's ~10% failure rate.
+wf::SimExecutorOptions default_sim_options(int virtual_cores,
+                                           std::uint64_t seed = 42);
+
+}  // namespace scidock::core

@@ -1,0 +1,404 @@
+#include "scidock/scidock.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "dock/autodock4.hpp"
+#include "dock/autogrid.hpp"
+#include "dock/dlg.hpp"
+#include "dock/vina.hpp"
+#include "mol/io_mol2.hpp"
+#include "mol/io_pdb.hpp"
+#include "mol/io_pdbqt.hpp"
+#include "mol/io_sdf.hpp"
+#include "mol/prepare.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::core {
+
+using wf::ActivationContext;
+using wf::Stage;
+using wf::Tuple;
+
+/// Keyed caches for the three expensive intermediates. Thread-safe;
+/// shared_ptr values so readers keep entries alive without copying.
+class ArtifactCache {
+ public:
+  std::shared_ptr<const mol::PreparedLigand> ligand(const std::string& key) {
+    std::lock_guard lock(mutex_);
+    const auto it = ligands_.find(key);
+    return it == ligands_.end() ? nullptr : it->second;
+  }
+  void put_ligand(const std::string& key, mol::PreparedLigand value) {
+    std::lock_guard lock(mutex_);
+    ligands_[key] = std::make_shared<mol::PreparedLigand>(std::move(value));
+  }
+  std::shared_ptr<const mol::PreparedReceptor> receptor(const std::string& key) {
+    std::lock_guard lock(mutex_);
+    const auto it = receptors_.find(key);
+    return it == receptors_.end() ? nullptr : it->second;
+  }
+  void put_receptor(const std::string& key, mol::PreparedReceptor value) {
+    std::lock_guard lock(mutex_);
+    receptors_[key] = std::make_shared<mol::PreparedReceptor>(std::move(value));
+  }
+  std::shared_ptr<const dock::GridMapSet> maps(const std::string& key) {
+    std::lock_guard lock(mutex_);
+    const auto it = maps_.find(key);
+    return it == maps_.end() ? nullptr : it->second;
+  }
+  void put_maps(const std::string& key, dock::GridMapSet value) {
+    std::lock_guard lock(mutex_);
+    maps_[key] = std::make_shared<dock::GridMapSet>(std::move(value));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedLigand>> ligands_;
+  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedReceptor>> receptors_;
+  std::unordered_map<std::string, std::shared_ptr<const dock::GridMapSet>> maps_;
+};
+
+std::shared_ptr<ArtifactCache> make_artifact_cache() {
+  return std::make_shared<ArtifactCache>();
+}
+
+namespace {
+
+/// Load a prepared ligand, via cache when possible.
+std::shared_ptr<const mol::PreparedLigand> load_ligand(
+    std::shared_ptr<ArtifactCache> cache, ActivationContext& ctx,
+    const std::string& path) {
+  if (auto hit = cache->ligand(path)) return hit;
+  const std::string text = ctx.fs->read(path);
+  mol::PdbqtModel model = mol::read_pdbqt(text);
+  model.molecule.infer_bonds_from_geometry();
+  model.molecule.perceive(/*retype=*/false);
+  mol::PreparedLigand prepared{std::move(model.molecule), std::move(model.torsions),
+                               text};
+  cache->put_ligand(path, std::move(prepared));
+  return cache->ligand(path);
+}
+
+std::shared_ptr<const mol::PreparedReceptor> load_receptor(
+    std::shared_ptr<ArtifactCache> cache, ActivationContext& ctx,
+    const std::string& path) {
+  if (auto hit = cache->receptor(path)) return hit;
+  const std::string text = ctx.fs->read(path);
+  mol::PdbqtModel model = mol::read_pdbqt(text);
+  model.molecule.infer_bonds_from_geometry();
+  model.molecule.perceive(/*retype=*/false);
+  cache->put_receptor(path, mol::PreparedReceptor{std::move(model.molecule), text});
+  return cache->receptor(path);
+}
+
+double tuple_workload(const Tuple& t) { return t.get_double("workload", 1.0); }
+
+bool tuple_hg(const Tuple& t) { return t.get("hg").value_or("0") == "1"; }
+
+std::string pair_dir(const ScidockOptions& opts, const char* stage,
+                     const Tuple& t) {
+  return opts.expdir + "/" + stage + "/" + t.require("pair") + "/";
+}
+
+}  // namespace
+
+wf::Pipeline build_scidock_pipeline(const ScidockOptions& opts,
+                                    std::shared_ptr<ArtifactCache> cache) {
+  if (!cache) cache = make_artifact_cache();
+  wf::Pipeline pipeline;
+  const ScidockOptions o = opts;  // captured by value in every lambda
+
+  // ---- 1. babel: SDF -> MOL2 ----
+  pipeline.add_stage(Stage{
+      kBabel, wf::AlgebraicOp::Map,
+      [o](const Tuple& in, ActivationContext& ctx) {
+        const std::string sdf = ctx.fs->read(in.require("ligand_file"));
+        mol::Molecule lig = mol::read_sdf(sdf, in.require("ligand"));
+        const std::string out_path =
+            pair_dir(o, kBabel, in) + in.require("ligand") + ".mol2";
+        ctx.emit_file(out_path, mol::write_mol2(lig));
+        Tuple out = in;
+        out.set("ligand_mol2", out_path);
+        return std::vector<Tuple>{out};
+      },
+      nullptr, tuple_workload, nullptr});
+
+  // ---- 2. prepare_ligand4 analog: MOL2 -> ligand PDBQT ----
+  pipeline.add_stage(Stage{
+      kPrepLigand, wf::AlgebraicOp::Map,
+      [o, cache](const Tuple& in, ActivationContext& ctx) {
+        mol::Molecule lig =
+            mol::read_mol2(ctx.fs->read(in.require("ligand_mol2")),
+                           in.require("ligand"));
+        mol::PreparedLigand prepared = mol::prepare_ligand(std::move(lig));
+        const std::string out_path =
+            pair_dir(o, kPrepLigand, in) + in.require("ligand") + ".pdbqt";
+        ctx.emit_file(out_path, prepared.pdbqt);
+        ctx.emit_value("TORSDOF", prepared.torsions.torsion_count());
+        cache->put_ligand(out_path, std::move(prepared));
+        Tuple out = in;
+        out.set("ligand_pdbqt", out_path);
+        return std::vector<Tuple>{out};
+      },
+      nullptr, tuple_workload, nullptr});
+
+  // ---- 3. prepare_receptor4 analog: PDB -> rigid PDBQT ----
+  pipeline.add_stage(Stage{
+      kPrepReceptor, wf::AlgebraicOp::Map,
+      [o, cache](const Tuple& in, ActivationContext& ctx) {
+        // One receptor file serves many pairs; keep a single canonical
+        // PDBQT per receptor rather than one per pair.
+        const std::string out_path =
+            o.expdir + "/" + kPrepReceptor + "/" + in.require("receptor") + ".pdbqt";
+        if (!cache->receptor(out_path)) {
+          mol::Molecule rec =
+              mol::read_pdb(ctx.fs->read(in.require("receptor_file")),
+                            in.require("receptor"));
+          mol::PreparedReceptor prepared = mol::prepare_receptor(std::move(rec));
+          ctx.emit_file(out_path, prepared.pdbqt);
+          cache->put_receptor(out_path, std::move(prepared));
+        }
+        Tuple out = in;
+        out.set("receptor_pdbqt", out_path);
+        return std::vector<Tuple>{out};
+      },
+      nullptr, tuple_workload, tuple_hg});
+
+  // ---- 4. GPF preparation ----
+  pipeline.add_stage(Stage{
+      kGpfPrep, wf::AlgebraicOp::Map,
+      [o, cache](const Tuple& in, ActivationContext& ctx) {
+        const auto rec = load_receptor(cache, ctx, in.require("receptor_pdbqt"));
+        const auto lig =
+            load_ligand(cache, ctx, in.require("ligand_pdbqt"));
+        dock::GridParameterFile gpf =
+            dock::make_gpf(rec->molecule, lig->molecule,
+                           /*box_padding=*/4.0, o.grid_spacing);
+        const std::string out_path = pair_dir(o, kGpfPrep, in) + "grid.gpf";
+        ctx.emit_file(out_path, gpf.to_text());
+        Tuple out = in;
+        out.set("gpf_file", out_path);
+        return std::vector<Tuple>{out};
+      },
+      nullptr, tuple_workload, nullptr});
+
+  // ---- 5. AutoGrid ----
+  pipeline.add_stage(Stage{
+      kAutogrid, wf::AlgebraicOp::Map,
+      [o, cache](const Tuple& in, ActivationContext& ctx) {
+        const std::string gpf_path = in.require("gpf_file");
+        const dock::GridParameterFile gpf =
+            dock::GridParameterFile::parse(ctx.fs->read(gpf_path));
+        const auto rec = load_receptor(cache, ctx, in.require("receptor_pdbqt"));
+        const dock::GridMapCalculator calc(rec->molecule);
+        dock::GridMapSet maps = calc.calculate(gpf.box, gpf.ligand_types);
+        const std::string prefix = pair_dir(o, kAutogrid, in) + "receptor";
+        // The field file always lands on the shared FS (it is what the DPF
+        // references); the bulky per-type maps only when asked.
+        std::string fld = strformat(
+            "# scidock maps field file\nspacing %.4f\nnmaps %d\n",
+            gpf.box.spacing, maps.file_count());
+        for (const auto& [type, map] : maps.affinity) {
+          fld += "map receptor." + std::string(mol::ad_type_name(type)) + ".map\n";
+          if (o.write_map_files) {
+            ctx.emit_file(prefix + "." + std::string(mol::ad_type_name(type)) + ".map",
+                          map.to_map_file());
+          }
+        }
+        if (o.write_map_files) {
+          ctx.emit_file(prefix + ".e.map", maps.electrostatic.to_map_file());
+          ctx.emit_file(prefix + ".d.map", maps.desolvation.to_map_file());
+        }
+        ctx.emit_file(prefix + ".maps.fld", fld);
+        cache->put_maps(prefix, std::move(maps));
+        Tuple out = in;
+        out.set("maps_prefix", prefix);
+        return std::vector<Tuple>{out};
+      },
+      nullptr, tuple_workload, nullptr});
+
+  // ---- 6. docking filter: size-based engine routing ----
+  const EngineMode mode = o.engine_mode;
+  pipeline.add_stage(Stage{
+      kDockFilter, wf::AlgebraicOp::Filter,
+      [o, mode](const Tuple& in, ActivationContext&) {
+        Tuple out = in;
+        std::string engine;
+        switch (mode) {
+          case EngineMode::ForceAd4: engine = "ad4"; break;
+          case EngineMode::ForceVina: engine = "vina"; break;
+          case EngineMode::Adaptive: {
+            const int residues = static_cast<int>(
+                parse_int(in.require("residues"), "residues"));
+            engine = residues > data::vina_size_threshold(o.dataset) ? "vina"
+                                                                     : "ad4";
+            break;
+          }
+        }
+        out.set("engine", engine);
+        return std::vector<Tuple>{out};
+      },
+      [](const Tuple& t) {
+        return t.require("engine") == "vina" ? std::string(kConfPrep)
+                                             : std::string(kDpfPrep);
+      },
+      tuple_workload, nullptr});
+
+  // ---- 7a. DPF preparation (AD4 path) ----
+  pipeline.add_stage(Stage{
+      kDpfPrep, wf::AlgebraicOp::Map,
+      [o](const Tuple& in, ActivationContext& ctx) {
+        dock::DockingParameterFile dpf = o.ad4_params;
+        dpf.ligand_file = in.require("ligand_pdbqt");
+        dpf.receptor_maps_prefix = in.require("maps_prefix");
+        dpf.seed = fnv1a64(in.require("pair")) & 0x7fffffffffffffffULL;
+        const std::string out_path = pair_dir(o, kDpfPrep, in) + "dock.dpf";
+        ctx.emit_file(out_path, dpf.to_text());
+        Tuple out = in;
+        out.set("dpf_file", out_path);
+        return std::vector<Tuple>{out};
+      },
+      [](const Tuple&) { return std::string(kAutodock4); },
+      tuple_workload, nullptr});
+
+  // ---- 7b. Vina configuration (Vina path) ----
+  pipeline.add_stage(Stage{
+      kConfPrep, wf::AlgebraicOp::Map,
+      [o](const Tuple& in, ActivationContext& ctx) {
+        const dock::GridParameterFile gpf =
+            dock::GridParameterFile::parse(ctx.fs->read(in.require("gpf_file")));
+        dock::VinaConfig cfg;
+        cfg.receptor_file = in.require("receptor_pdbqt");
+        cfg.ligand_file = in.require("ligand_pdbqt");
+        cfg.box = gpf.box;
+        cfg.exhaustiveness = o.vina_exhaustiveness;
+        cfg.seed = fnv1a64(in.require("pair")) & 0x7fffffffffffffffULL;
+        const std::string out_path = pair_dir(o, kConfPrep, in) + "conf.txt";
+        ctx.emit_file(out_path, cfg.to_text());
+        Tuple out = in;
+        out.set("conf_file", out_path);
+        return std::vector<Tuple>{out};
+      },
+      [](const Tuple&) { return std::string(kAutodockVina); },
+      tuple_workload, nullptr});
+
+  // ---- 8a. AutoDock 4 ----
+  pipeline.add_stage(Stage{
+      kAutodock4, wf::AlgebraicOp::Map,
+      [o, cache](const Tuple& in, ActivationContext& ctx) {
+        const dock::DockingParameterFile dpf =
+            dock::DockingParameterFile::parse(ctx.fs->read(in.require("dpf_file")));
+        const auto lig = load_ligand(cache, ctx, dpf.ligand_file);
+        const auto maps = cache->maps(dpf.receptor_maps_prefix);
+        SCIDOCK_REQUIRE(maps != nullptr,
+                        "AutoGrid maps not found for " + dpf.receptor_maps_prefix);
+        dock::Autodock4Engine engine(dpf);
+        Rng rng(dpf.seed);
+        dock::DockingResult result = engine.dock_with_maps(*maps, *lig, rng);
+        result.receptor_name = in.require("receptor");
+
+        const std::string out_path =
+            pair_dir(o, kAutodock4, in) +
+            in.require("ligand") + "_" + in.require("receptor") + ".dlg";
+        ctx.emit_file(out_path, dock::write_dlg(result));
+        const double feb = result.empty() ? 0.0 : result.best().feb;
+        // AD4's RMSD table is measured against the input reference frame.
+        const double rmsd = result.mean_rmsd();
+        ctx.emit_value("FEB", feb, "kcal/mol");
+        ctx.emit_value("RMSD", rmsd, "A");
+        Tuple out = in;
+        out.set("dlg_file", out_path);
+        out.set("feb", strformat("%.4f", feb));
+        out.set("rmsd", strformat("%.4f", rmsd));
+        return std::vector<Tuple>{out};
+      },
+      [](const Tuple&) { return std::string(wf::kEndOfPipeline); },
+      tuple_workload, nullptr});
+
+  // ---- 8b. AutoDock Vina ----
+  pipeline.add_stage(Stage{
+      kAutodockVina, wf::AlgebraicOp::Map,
+      [o, cache](const Tuple& in, ActivationContext& ctx) {
+        const dock::VinaConfig cfg =
+            dock::VinaConfig::parse(ctx.fs->read(in.require("conf_file")));
+        const auto rec = load_receptor(cache, ctx, cfg.receptor_file);
+        const auto lig = load_ligand(cache, ctx, cfg.ligand_file);
+        dock::VinaEngine engine(cfg);
+        engine.steps_per_chain = o.vina_steps_per_chain;
+        Rng rng(cfg.seed);
+        dock::DockingResult result = engine.dock(*rec, *lig, cfg.box, rng);
+
+        const std::string out_path =
+            pair_dir(o, kAutodockVina, in) +
+            in.require("ligand") + "_" + in.require("receptor") + ".log";
+        ctx.emit_file(out_path, dock::write_vina_log(result));
+        // Vina also writes the docked conformations back as PDBQT models
+        // ("a new version of the PDBQT file with the binding information").
+        if (!result.empty()) {
+          ctx.emit_file(pair_dir(o, kAutodockVina, in) +
+                            in.require("ligand") + "_" +
+                            in.require("receptor") + "_out.pdbqt",
+                        dock::write_poses_pdbqt(*lig, result));
+        }
+        const double feb = result.empty() ? 0.0 : result.best().feb;
+        // Vina's mode table reports distances *between modes*, not against
+        // the reference frame; the extractor therefore records the mean
+        // displacement from the best mode (this is why Table 3's Vina RMSD
+        // column is an order of magnitude below AD4's).
+        double rmsd = 0.0;
+        if (result.conformations.size() > 1) {
+          for (std::size_t i = 1; i < result.conformations.size(); ++i) {
+            rmsd += mol::rmsd(result.conformations[i].coords,
+                              result.conformations[0].coords);
+          }
+          rmsd /= static_cast<double>(result.conformations.size() - 1);
+        }
+        ctx.emit_value("FEB", feb, "kcal/mol");
+        ctx.emit_value("RMSD", rmsd, "A");
+        Tuple out = in;
+        out.set("dlg_file", out_path);
+        out.set("feb", strformat("%.4f", feb));
+        out.set("rmsd", strformat("%.4f", rmsd));
+        return std::vector<Tuple>{out};
+      },
+      [](const Tuple&) { return std::string(wf::kEndOfPipeline); },
+      tuple_workload, nullptr});
+
+  return pipeline;
+}
+
+wf::WorkflowDef scidock_workflow_def(const ScidockOptions& opts) {
+  wf::WorkflowDef def;
+  def.tag = "SciDock";
+  def.description = "Docking";
+  def.exec_tag = "scidock";
+  def.expdir = opts.expdir + "/";
+  def.database.server = "ec2-50-17-107-164.compute-1.amazonaws.com";
+
+  const char* tags[] = {kBabel, kPrepLigand, kPrepReceptor, kGpfPrep,
+                        kAutogrid, kDockFilter, kDpfPrep, kConfPrep,
+                        kAutodock4, kAutodockVina};
+  int rel = 0;
+  for (const char* tag : tags) {
+    wf::ActivityDef act;
+    act.tag = tag;
+    act.op = std::string(tag) == kDockFilter ? wf::AlgebraicOp::Filter
+                                             : wf::AlgebraicOp::Map;
+    act.template_dir = def.expdir + "template_" + tag + "/";
+    act.activation_command = "./experiment.cmd";
+    act.relations.push_back(wf::RelationDef{
+        "rel_in_" + std::to_string(rel), "input_" + std::to_string(rel) + ".txt",
+        true});
+    act.relations.push_back(wf::RelationDef{
+        "rel_in_" + std::to_string(rel + 1),
+        "output_" + std::to_string(rel) + ".txt", false});
+    def.activities.push_back(std::move(act));
+    ++rel;
+  }
+  return def;
+}
+
+}  // namespace scidock::core

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file scidock.hpp
+/// The SciDock workflow itself: the paper's eight activities implemented
+/// over the mol/dock libraries and bound into a wf::Pipeline, plus the
+/// Figure 2 XML definition.
+///
+/// Activity map (paper Figure 1):
+///   1 babel         — SDF -> MOL2 conversion
+///   2 prepligand    — MOL2 -> ligand PDBQT (charges, types, torsion tree)
+///   3 prepreceptor  — PDB -> rigid receptor PDBQT (hangs on Hg upstream)
+///   4 gpfprep       — grid parameter file from the PDBQT pair
+///   5 autogrid      — coordinate/affinity maps
+///   6 dockfilter    — size-based routing: AD4 (small) vs Vina (large)
+///   7a dpfprep      — AD4 docking parameter file
+///   7b confprep     — Vina configuration file
+///   8a autodock4    — LGA docking over the maps, .dlg output
+///   8b autodockvina — MC docking, Vina log output
+
+#include <memory>
+#include <string>
+
+#include "data/generator.hpp"
+#include "dock/dpf.hpp"
+#include "wf/pipeline.hpp"
+#include "wf/workflow.hpp"
+
+namespace scidock::core {
+
+/// Which docking program handles each pair (paper §V.B scenarios).
+enum class EngineMode {
+  Adaptive,   ///< activity 6 routes by receptor size (SciDock's design)
+  ForceAd4,   ///< Scenario I: the whole set through AutoDock 4
+  ForceVina,  ///< Scenario II: the whole set through Vina
+};
+
+struct ScidockOptions {
+  data::GeneratorOptions dataset{};
+  EngineMode engine_mode = EngineMode::Adaptive;
+
+  /// Search effort — defaults are deliberately small so native runs of
+  /// hundreds of pairs finish in seconds; raise for higher-quality poses.
+  dock::DockingParameterFile ad4_params{
+      .ga_runs = 2, .ga_pop_size = 24, .ga_num_evals = 3000,
+      .ga_num_generations = 60, .sw_max_its = 50};
+  int vina_exhaustiveness = 3;
+  int vina_steps_per_chain = 40;
+
+  double grid_spacing = 0.55;   ///< Å; AutoGrid's default 0.375 is slower
+  bool write_map_files = false; ///< also serialise .map files to the VFS
+  std::string expdir = "/root/exp_SciDock";
+};
+
+/// Shared in-process cache of expensive intermediates (prepared
+/// structures and grid maps), keyed by file path. Plays the role of a
+/// VM-local scratch cache over the shared filesystem.
+class ArtifactCache;
+
+/// Build the runnable pipeline: all stages with native implementations,
+/// routing, per-tuple workload scaling and the Hg hazard predicate. The
+/// returned pipeline references `cache` and `opts` by value internally.
+wf::Pipeline build_scidock_pipeline(const ScidockOptions& opts,
+                                    std::shared_ptr<ArtifactCache> cache = nullptr);
+
+std::shared_ptr<ArtifactCache> make_artifact_cache();
+
+/// The static workflow definition matching the Figure 2 XML specification
+/// (round-trips through wf::save_spec / wf::load_spec).
+wf::WorkflowDef scidock_workflow_def(const ScidockOptions& opts = {});
+
+/// Stage tags, exposed for benches/tests.
+inline constexpr const char* kBabel = "babel";
+inline constexpr const char* kPrepLigand = "prepligand";
+inline constexpr const char* kPrepReceptor = "prepreceptor";
+inline constexpr const char* kGpfPrep = "gpfprep";
+inline constexpr const char* kAutogrid = "autogrid";
+inline constexpr const char* kDockFilter = "dockfilter";
+inline constexpr const char* kDpfPrep = "dpfprep";
+inline constexpr const char* kConfPrep = "confprep";
+inline constexpr const char* kAutodock4 = "autodock4";
+inline constexpr const char* kAutodockVina = "autodockvina";
+
+}  // namespace scidock::core

@@ -1,0 +1,728 @@
+#include "sql/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "sql/parser.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::sql {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Evaluation scope: one (possibly partial) joined row.
+// ---------------------------------------------------------------------
+
+struct Binding {
+  std::string alias;
+  const Table* table = nullptr;
+};
+
+struct Scope {
+  const std::vector<Binding>* bindings = nullptr;
+  /// One row pointer per binding; nullptr = not yet bound (join pushdown).
+  const std::vector<const Row*>* rows = nullptr;
+};
+
+struct ColumnRefResolved {
+  int table = -1;
+  int column = -1;
+};
+
+ColumnRefResolved resolve_column(const std::vector<Binding>& bindings,
+                                 const std::string& qualifier,
+                                 const std::string& column) {
+  ColumnRefResolved out;
+  for (std::size_t t = 0; t < bindings.size(); ++t) {
+    if (!qualifier.empty() && !iequals(bindings[t].alias, qualifier)) continue;
+    const int ci = bindings[t].table->column_index(column);
+    if (ci >= 0) {
+      if (out.table >= 0) {
+        throw InvalidStateError("ambiguous column reference '" + column + "'");
+      }
+      out.table = static_cast<int>(t);
+      out.column = ci;
+    }
+  }
+  if (out.table < 0) {
+    throw NotFoundError("column", (qualifier.empty() ? "" : qualifier + ".") + column);
+  }
+  return out;
+}
+
+bool truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_int()) return v.as_int() != 0;
+  if (v.is_double()) return v.as_double() != 0.0;
+  return !v.as_string().empty();
+}
+
+bool like_match(std::string_view text, std::string_view pattern) {
+  // Classic two-pointer wildcard matching; '%' = any run, '_' = any char.
+  std::size_t ti = 0, pi = 0;
+  std::size_t star_p = std::string_view::npos, star_t = 0;
+  while (ti < text.size()) {
+    if (pi < pattern.size() && (pattern[pi] == '_' || pattern[pi] == text[ti])) {
+      ++ti;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string_view::npos) {
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+Value eval(const Expr& e, const Scope& scope);
+
+Value eval_binary(const Expr& e, const Scope& scope) {
+  // AND/OR get short-circuit + SQL null handling first.
+  if (e.binary_op == BinaryOp::And) {
+    const Value l = eval(*e.lhs, scope);
+    if (!truthy(l)) return Value(static_cast<std::int64_t>(0));
+    return Value(static_cast<std::int64_t>(truthy(eval(*e.rhs, scope)) ? 1 : 0));
+  }
+  if (e.binary_op == BinaryOp::Or) {
+    const Value l = eval(*e.lhs, scope);
+    if (truthy(l)) return Value(static_cast<std::int64_t>(1));
+    return Value(static_cast<std::int64_t>(truthy(eval(*e.rhs, scope)) ? 1 : 0));
+  }
+
+  const Value l = eval(*e.lhs, scope);
+  const Value r = eval(*e.rhs, scope);
+
+  switch (e.binary_op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod: {
+      if (l.is_null() || r.is_null()) return Value();
+      if (l.is_int() && r.is_int() && e.binary_op != BinaryOp::Div) {
+        const std::int64_t a = l.as_int();
+        const std::int64_t b = r.as_int();
+        switch (e.binary_op) {
+          case BinaryOp::Add: return Value(a + b);
+          case BinaryOp::Sub: return Value(a - b);
+          case BinaryOp::Mul: return Value(a * b);
+          case BinaryOp::Mod:
+            SCIDOCK_REQUIRE(b != 0, "modulo by zero");
+            return Value(a % b);
+          default: break;
+        }
+      }
+      const double a = l.as_double();
+      const double b = r.as_double();
+      switch (e.binary_op) {
+        case BinaryOp::Add: return Value(a + b);
+        case BinaryOp::Sub: return Value(a - b);
+        case BinaryOp::Mul: return Value(a * b);
+        case BinaryOp::Div:
+          SCIDOCK_REQUIRE(b != 0.0, "division by zero");
+          return Value(a / b);
+        case BinaryOp::Mod: return Value(std::fmod(a, b));
+        default: break;
+      }
+      return Value();
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge: {
+      if (l.is_null() || r.is_null()) return Value(static_cast<std::int64_t>(0));
+      const auto c = l.compare(r);
+      bool result = false;
+      switch (e.binary_op) {
+        case BinaryOp::Eq: result = c == std::strong_ordering::equal; break;
+        case BinaryOp::Ne: result = c != std::strong_ordering::equal; break;
+        case BinaryOp::Lt: result = c == std::strong_ordering::less; break;
+        case BinaryOp::Le: result = c != std::strong_ordering::greater; break;
+        case BinaryOp::Gt: result = c == std::strong_ordering::greater; break;
+        case BinaryOp::Ge: result = c != std::strong_ordering::less; break;
+        default: break;
+      }
+      return Value(static_cast<std::int64_t>(result ? 1 : 0));
+    }
+    case BinaryOp::Like: {
+      if (l.is_null() || r.is_null()) return Value(static_cast<std::int64_t>(0));
+      return Value(static_cast<std::int64_t>(
+          like_match(l.to_string(), r.as_string()) ? 1 : 0));
+    }
+    case BinaryOp::Concat:
+      if (l.is_null() || r.is_null()) return Value();
+      return Value(l.to_string() + r.to_string());
+    default:
+      return Value();
+  }
+}
+
+Value eval_call(const Expr& e, const Scope& scope) {
+  const std::string& fn = e.call_name;
+  auto arg = [&](std::size_t i) { return eval(*e.args[i], scope); };
+
+  if (fn == "extract") {
+    SCIDOCK_REQUIRE(e.args.size() == 2, "extract() needs a field and a value");
+    const Value field = arg(0);
+    const Value v = arg(1);
+    if (v.is_null()) return Value();
+    const std::string f = to_lower(field.to_string());
+    // Timestamps are stored as seconds since the experiment epoch, so
+    // EXTRACT('epoch' ...) is numeric identity; other fields derive from it.
+    const double secs = v.as_double();
+    if (f == "epoch") return Value(secs);
+    if (f == "minute") return Value(std::floor(std::fmod(secs / 60.0, 60.0)));
+    if (f == "hour") return Value(std::floor(std::fmod(secs / 3600.0, 24.0)));
+    if (f == "day") return Value(std::floor(secs / 86400.0));
+    throw InvalidStateError("unsupported EXTRACT field '" + f + "'");
+  }
+  if (fn == "abs") {
+    const Value v = arg(0);
+    if (v.is_null()) return Value();
+    return v.is_int() ? Value(std::abs(v.as_int())) : Value(std::abs(v.as_double()));
+  }
+  if (fn == "round") {
+    const Value v = arg(0);
+    if (v.is_null()) return Value();
+    if (e.args.size() >= 2) {
+      const double scale = std::pow(10.0, arg(1).as_double());
+      return Value(std::round(v.as_double() * scale) / scale);
+    }
+    return Value(std::round(v.as_double()));
+  }
+  if (fn == "floor") return e.args[0] ? Value(std::floor(arg(0).as_double())) : Value();
+  if (fn == "ceil" || fn == "ceiling") return Value(std::ceil(arg(0).as_double()));
+  if (fn == "length") {
+    const Value v = arg(0);
+    if (v.is_null()) return Value();
+    return Value(static_cast<std::int64_t>(v.to_string().size()));
+  }
+  if (fn == "upper") {
+    const Value v = arg(0);
+    return v.is_null() ? Value() : Value(to_upper(v.to_string()));
+  }
+  if (fn == "lower") {
+    const Value v = arg(0);
+    return v.is_null() ? Value() : Value(to_lower(v.to_string()));
+  }
+  if (fn == "coalesce") {
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      Value v = arg(i);
+      if (!v.is_null()) return v;
+    }
+    return Value();
+  }
+  if (fn == "substr" || fn == "substring") {
+    const Value v = arg(0);
+    if (v.is_null()) return Value();
+    const std::string s = v.to_string();
+    const auto start = static_cast<std::size_t>(std::max<std::int64_t>(arg(1).as_int() - 1, 0));
+    std::size_t len = std::string::npos;
+    if (e.args.size() >= 3) len = static_cast<std::size_t>(std::max<std::int64_t>(arg(2).as_int(), 0));
+    if (start >= s.size()) return Value(std::string());
+    return Value(s.substr(start, len));
+  }
+  if (fn == "min" || fn == "max" || fn == "sum" || fn == "avg" || fn == "count") {
+    throw InvalidStateError("aggregate " + fn + "() used outside GROUP BY context");
+  }
+  throw NotFoundError("SQL function", fn);
+}
+
+Value eval(const Expr& e, const Scope& scope) {
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+      return e.literal;
+    case Expr::Kind::Column: {
+      const auto ref = resolve_column(*scope.bindings, e.qualifier, e.column);
+      const Row* row = (*scope.rows)[static_cast<std::size_t>(ref.table)];
+      SCIDOCK_REQUIRE(row != nullptr, "column '" + e.column + "' referenced before its table is bound");
+      return (*row)[static_cast<std::size_t>(ref.column)];
+    }
+    case Expr::Kind::Binary:
+      return eval_binary(e, scope);
+    case Expr::Kind::Unary: {
+      const Value v = eval(*e.lhs, scope);
+      switch (e.unary_op) {
+        case UnaryOp::Neg:
+          if (v.is_null()) return Value();
+          return v.is_int() ? Value(-v.as_int()) : Value(-v.as_double());
+        case UnaryOp::Not:
+          return Value(static_cast<std::int64_t>(truthy(v) ? 0 : 1));
+        case UnaryOp::IsNull:
+          return Value(static_cast<std::int64_t>(v.is_null() ? 1 : 0));
+        case UnaryOp::IsNotNull:
+          return Value(static_cast<std::int64_t>(v.is_null() ? 0 : 1));
+      }
+      return Value();
+    }
+    case Expr::Kind::Call:
+      return eval_call(e, scope);
+    case Expr::Kind::In: {
+      const Value probe = eval(*e.lhs, scope);
+      if (probe.is_null()) return Value(static_cast<std::int64_t>(0));
+      bool found = false;
+      for (const ExprPtr& item : e.args) {
+        const Value v = eval(*item, scope);
+        if (!v.is_null() && probe.compare(v) == std::strong_ordering::equal) {
+          found = true;
+          break;
+        }
+      }
+      return Value(static_cast<std::int64_t>(found != e.negated ? 1 : 0));
+    }
+    case Expr::Kind::Between: {
+      const Value v = eval(*e.lhs, scope);
+      const Value lo = eval(*e.args[0], scope);
+      const Value hi = eval(*e.args[1], scope);
+      if (v.is_null() || lo.is_null() || hi.is_null()) {
+        return Value(static_cast<std::int64_t>(0));
+      }
+      const bool inside = v.compare(lo) != std::strong_ordering::less &&
+                          v.compare(hi) != std::strong_ordering::greater;
+      return Value(static_cast<std::int64_t>(inside != e.negated ? 1 : 0));
+    }
+    case Expr::Kind::Star:
+      throw InvalidStateError("'*' is only valid in SELECT lists and count(*)");
+  }
+  return Value();
+}
+
+/// Table aliases an expression references (for join push-down ordering).
+void referenced_tables(const Expr& e, const std::vector<Binding>& bindings,
+                       std::vector<bool>& out) {
+  if (e.kind == Expr::Kind::Column) {
+    const auto ref = resolve_column(bindings, e.qualifier, e.column);
+    out[static_cast<std::size_t>(ref.table)] = true;
+  }
+  if (e.lhs) referenced_tables(*e.lhs, bindings, out);
+  if (e.rhs) referenced_tables(*e.rhs, bindings, out);
+  for (const ExprPtr& a : e.args) referenced_tables(*a, bindings, out);
+}
+
+/// Split a WHERE tree into AND-ed conjuncts.
+void collect_conjuncts(const Expr& e, std::vector<const Expr*>& out) {
+  if (e.kind == Expr::Kind::Binary && e.binary_op == BinaryOp::And) {
+    collect_conjuncts(*e.lhs, out);
+    collect_conjuncts(*e.rhs, out);
+  } else {
+    out.push_back(&e);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------
+
+struct Aggregator {
+  std::string fn;
+  bool star = false;
+  std::size_t count = 0;
+  double sum = 0.0;
+  Value min_v;
+  Value max_v;
+
+  void add(const Value& v) {
+    if (!star && v.is_null()) return;
+    ++count;
+    if (fn == "sum" || fn == "avg") sum += star ? 0.0 : v.as_double();
+    if (fn == "min" && (min_v.is_null() || v.compare(min_v) == std::strong_ordering::less)) min_v = v;
+    if (fn == "max" && (max_v.is_null() || v.compare(max_v) == std::strong_ordering::greater)) max_v = v;
+  }
+
+  Value result() const {
+    if (fn == "count") return Value(static_cast<std::int64_t>(count));
+    if (count == 0) return Value();
+    if (fn == "sum") return Value(sum);
+    if (fn == "avg") return Value(sum / static_cast<double>(count));
+    if (fn == "min") return min_v;
+    if (fn == "max") return max_v;
+    throw NotFoundError("aggregate", fn);
+  }
+};
+
+/// Evaluate an expression that may contain aggregate calls over a group of
+/// rows. Aggregates are computed over the group; everything else is
+/// evaluated on the group's first row (the paper's queries always group by
+/// those columns, matching PostgreSQL semantics for valid queries).
+Value eval_grouped(const Expr& e, const std::vector<Binding>& bindings,
+                   const std::vector<std::vector<const Row*>>& group) {
+  SCIDOCK_ASSERT(!group.empty());
+  if (e.kind == Expr::Kind::Call &&
+      (e.call_name == "min" || e.call_name == "max" || e.call_name == "sum" ||
+       e.call_name == "avg" || e.call_name == "count")) {
+    Aggregator agg;
+    agg.fn = e.call_name;
+    agg.star = e.star_arg;
+    for (const auto& row_ptrs : group) {
+      Scope scope{&bindings, &row_ptrs};
+      if (agg.star) {
+        agg.add(Value(static_cast<std::int64_t>(1)));
+      } else {
+        SCIDOCK_REQUIRE(e.args.size() == 1, "aggregate takes one argument");
+        agg.add(eval(*e.args[0], scope));
+      }
+    }
+    return agg.result();
+  }
+  if (e.kind == Expr::Kind::Binary || e.kind == Expr::Kind::Unary ||
+      e.kind == Expr::Kind::Call) {
+    if (contains_aggregate(e)) {
+      // Rebuild with aggregate sub-results replaced by literals.
+      Expr shallow = {};
+      shallow.kind = e.kind;
+      shallow.binary_op = e.binary_op;
+      shallow.unary_op = e.unary_op;
+      shallow.call_name = e.call_name;
+      shallow.star_arg = e.star_arg;
+      if (e.lhs) shallow.lhs = Expr::make_literal(eval_grouped(*e.lhs, bindings, group));
+      if (e.rhs) shallow.rhs = Expr::make_literal(eval_grouped(*e.rhs, bindings, group));
+      for (const ExprPtr& a : e.args) {
+        shallow.args.push_back(Expr::make_literal(eval_grouped(*a, bindings, group)));
+      }
+      Scope scope{&bindings, &group.front()};
+      return eval(shallow, scope);
+    }
+  }
+  Scope scope{&bindings, &group.front()};
+  return eval(e, scope);
+}
+
+std::string derive_column_name(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == Expr::Kind::Column) return item.expr->column;
+  if (item.expr->kind == Expr::Kind::Call) return item.expr->call_name;
+  return item.expr->to_string();
+}
+
+}  // namespace
+
+std::string ResultSet::to_text() const {
+  std::vector<std::size_t> widths(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(row[c].to_string());
+      if (c < widths.size()) widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& line) {
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      out += strformat(" %-*s ", static_cast<int>(widths[c]), line[c].c_str());
+      if (c + 1 < line.size()) out += '|';
+    }
+    out += '\n';
+  };
+  emit_row(columns);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    if (c + 1 < columns.size()) out += '+';
+  }
+  out += '\n';
+  for (const auto& line : cells) emit_row(line);
+  out += strformat("(%zu rows)\n", rows.size());
+  return out;
+}
+
+ResultSet Engine::execute(std::string_view sql) {
+  const Statement stmt = parse_statement(sql);
+  switch (stmt.kind) {
+    case Statement::Kind::Select:
+      return execute_select(stmt.select);
+    case Statement::Kind::CreateTable: {
+      db_.create_table(stmt.create.table, stmt.create.columns);
+      return {};
+    }
+    case Statement::Kind::Insert: {
+      Table& table = db_.table(stmt.insert.table);
+      const std::vector<Binding> no_bindings;
+      const std::vector<const Row*> no_rows;
+      Scope scope{&no_bindings, &no_rows};
+      for (const auto& row_exprs : stmt.insert.rows) {
+        Row row(table.columns().size());
+        if (stmt.insert.columns.empty()) {
+          SCIDOCK_REQUIRE(row_exprs.size() == table.columns().size(),
+                          "INSERT width mismatch");
+          for (std::size_t i = 0; i < row_exprs.size(); ++i) {
+            row[i] = eval(*row_exprs[i], scope);
+          }
+        } else {
+          SCIDOCK_REQUIRE(row_exprs.size() == stmt.insert.columns.size(),
+                          "INSERT width mismatch");
+          for (std::size_t i = 0; i < row_exprs.size(); ++i) {
+            const int ci = table.column_index(stmt.insert.columns[i]);
+            SCIDOCK_REQUIRE(ci >= 0, "unknown column " + stmt.insert.columns[i]);
+            row[static_cast<std::size_t>(ci)] = eval(*row_exprs[i], scope);
+          }
+        }
+        table.insert(std::move(row));
+      }
+      return {};
+    }
+    case Statement::Kind::Update: {
+      Table& table = db_.table(stmt.update.table);
+      std::vector<Binding> bindings{{table.name(), &table}};
+      // Resolve assignment targets once.
+      std::vector<std::size_t> targets;
+      for (const auto& [column, expr] : stmt.update.assignments) {
+        const int ci = table.column_index(column);
+        SCIDOCK_REQUIRE(ci >= 0, "unknown column " + column);
+        targets.push_back(static_cast<std::size_t>(ci));
+        (void)expr;
+      }
+      std::size_t updated = 0;
+      for (Row& row : table.mutable_rows()) {
+        std::vector<const Row*> rows{&row};
+        Scope scope{&bindings, &rows};
+        if (stmt.update.where && !truthy(eval(*stmt.update.where, scope))) {
+          continue;
+        }
+        // Evaluate every assignment against the *pre-update* row, then
+        // apply (standard SQL semantics for multi-assignment UPDATE).
+        std::vector<Value> new_values;
+        new_values.reserve(targets.size());
+        for (const auto& [column, expr] : stmt.update.assignments) {
+          new_values.push_back(eval(*expr, scope));
+        }
+        for (std::size_t k = 0; k < targets.size(); ++k) {
+          row[targets[k]] = std::move(new_values[k]);
+        }
+        ++updated;
+      }
+      ResultSet rs;
+      rs.columns = {"updated"};
+      rs.rows.push_back({Value(static_cast<std::int64_t>(updated))});
+      return rs;
+    }
+    case Statement::Kind::Delete: {
+      Table& table = db_.table(stmt.del.table);
+      std::vector<Binding> bindings{{table.name(), &table}};
+      std::size_t removed = 0;
+      if (!stmt.del.where) {
+        removed = table.erase_if([](const Row&) { return true; });
+      } else {
+        removed = table.erase_if([&](const Row& row) {
+          std::vector<const Row*> rows{&row};
+          Scope scope{&bindings, &rows};
+          return truthy(eval(*stmt.del.where, scope));
+        });
+      }
+      ResultSet rs;
+      rs.columns = {"deleted"};
+      rs.rows.push_back({Value(static_cast<std::int64_t>(removed))});
+      return rs;
+    }
+  }
+  return {};
+}
+
+ResultSet Engine::execute_select(const SelectStmt& stmt) {
+  SCIDOCK_REQUIRE(!stmt.from.empty(), "SELECT requires a FROM clause");
+
+  // --- bind tables ---
+  std::vector<Binding> bindings;
+  bindings.reserve(stmt.from.size());
+  for (const TableRef& ref : stmt.from) {
+    bindings.push_back(Binding{ref.alias, &db_.table(ref.table)});
+  }
+  const std::size_t n_tables = bindings.size();
+
+  // --- classify WHERE conjuncts by the last table they need ---
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where) collect_conjuncts(*stmt.where, conjuncts);
+  std::vector<std::vector<const Expr*>> conjuncts_at(n_tables);
+  for (const Expr* c : conjuncts) {
+    std::vector<bool> refs(n_tables, false);
+    referenced_tables(*c, bindings, refs);
+    std::size_t last = 0;
+    for (std::size_t t = 0; t < n_tables; ++t) {
+      if (refs[t]) last = t;
+    }
+    conjuncts_at[last].push_back(c);
+  }
+
+  // --- nested-loop join with push-down ---
+  std::vector<std::vector<const Row*>> joined;
+  std::vector<const Row*> current(n_tables, nullptr);
+  auto descend = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == n_tables) {
+      joined.push_back(current);
+      return;
+    }
+    for (const Row& row : bindings[depth].table->rows()) {
+      current[depth] = &row;
+      Scope scope{&bindings, &current};
+      bool pass = true;
+      for (const Expr* c : conjuncts_at[depth]) {
+        if (!truthy(eval(*c, scope))) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) self(self, depth + 1);
+    }
+    current[depth] = nullptr;
+  };
+  descend(descend, 0);
+
+  // --- detect aggregation ---
+  bool has_aggregate = false;
+  for (const SelectItem& item : stmt.items) {
+    if (contains_aggregate(*item.expr)) has_aggregate = true;
+  }
+  const bool grouped = has_aggregate || !stmt.group_by.empty();
+
+  ResultSet rs;
+  if (stmt.star_all) {
+    SCIDOCK_REQUIRE(!grouped, "SELECT * cannot be combined with GROUP BY");
+    for (const Binding& b : bindings) {
+      for (const std::string& col : b.table->columns()) rs.columns.push_back(col);
+    }
+  } else {
+    for (const SelectItem& item : stmt.items) {
+      rs.columns.push_back(derive_column_name(item));
+    }
+  }
+
+  // ORDER BY may reference a select-list alias (PostgreSQL semantics):
+  // substitute such bare column references with the aliased expression.
+  std::vector<ExprPtr> order_exprs;
+  for (const OrderItem& o : stmt.order_by) {
+    const Expr* resolved = o.expr.get();
+    if (resolved->kind == Expr::Kind::Column && resolved->qualifier.empty()) {
+      for (const SelectItem& item : stmt.items) {
+        if (!item.alias.empty() && iequals(item.alias, resolved->column)) {
+          resolved = item.expr.get();
+          break;
+        }
+      }
+    }
+    order_exprs.push_back(resolved->clone());
+  }
+
+  struct OrderKeyed {
+    Row row;
+    std::vector<Value> keys;
+  };
+  std::vector<OrderKeyed> produced;
+
+  if (grouped) {
+    // Group the joined rows by the GROUP BY key values.
+    std::map<std::vector<std::string>, std::vector<std::vector<const Row*>>> groups;
+    for (const auto& row_ptrs : joined) {
+      Scope scope{&bindings, &row_ptrs};
+      std::vector<std::string> key;
+      key.reserve(stmt.group_by.size());
+      for (const ExprPtr& g : stmt.group_by) {
+        key.push_back(eval(*g, scope).to_string());
+      }
+      groups[std::move(key)].push_back(row_ptrs);
+    }
+    if (groups.empty() && stmt.group_by.empty() && !joined.empty()) {
+      groups[{}].push_back(joined.front());
+    }
+    if (groups.empty() && stmt.group_by.empty()) {
+      // Aggregates over an empty input still yield one row (count = 0).
+      if (has_aggregate) {
+        Row row;
+        for (const SelectItem& item : stmt.items) {
+          if (item.expr->kind == Expr::Kind::Call && item.expr->call_name == "count") {
+            row.push_back(Value(static_cast<std::int64_t>(0)));
+          } else {
+            row.push_back(Value());
+          }
+        }
+        produced.push_back({std::move(row), {}});
+      }
+    } else {
+      for (auto& [key, group_rows] : groups) {
+        if (group_rows.empty()) continue;
+        if (stmt.having) {
+          if (!truthy(Value(eval_grouped(*stmt.having, bindings, group_rows)))) {
+            continue;
+          }
+        }
+        OrderKeyed out;
+        for (const SelectItem& item : stmt.items) {
+          out.row.push_back(eval_grouped(*item.expr, bindings, group_rows));
+        }
+        for (const ExprPtr& o : order_exprs) {
+          out.keys.push_back(eval_grouped(*o, bindings, group_rows));
+        }
+        produced.push_back(std::move(out));
+      }
+    }
+  } else {
+    for (const auto& row_ptrs : joined) {
+      Scope scope{&bindings, &row_ptrs};
+      OrderKeyed out;
+      if (stmt.star_all) {
+        for (std::size_t t = 0; t < n_tables; ++t) {
+          for (const Value& v : *row_ptrs[t]) out.row.push_back(v);
+        }
+      } else {
+        for (const SelectItem& item : stmt.items) {
+          out.row.push_back(eval(*item.expr, scope));
+        }
+      }
+      for (const ExprPtr& o : order_exprs) {
+        out.keys.push_back(eval(*o, scope));
+      }
+      produced.push_back(std::move(out));
+    }
+  }
+
+  // --- ORDER BY ---
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(produced.begin(), produced.end(),
+                     [&stmt](const OrderKeyed& a, const OrderKeyed& b) {
+                       for (std::size_t k = 0; k < stmt.order_by.size(); ++k) {
+                         const auto c = a.keys[k].compare(b.keys[k]);
+                         if (c == std::strong_ordering::equal) continue;
+                         const bool less = c == std::strong_ordering::less;
+                         return stmt.order_by[k].descending ? !less : less;
+                       }
+                       return false;
+                     });
+  }
+
+  // --- DISTINCT ---
+  for (OrderKeyed& p : produced) rs.rows.push_back(std::move(p.row));
+  if (stmt.distinct) {
+    std::vector<Row> unique_rows;
+    for (Row& row : rs.rows) {
+      bool seen = false;
+      for (const Row& u : unique_rows) {
+        if (u.size() == row.size() &&
+            std::equal(u.begin(), u.end(), row.begin())) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) unique_rows.push_back(std::move(row));
+    }
+    rs.rows = std::move(unique_rows);
+  }
+
+  // --- LIMIT ---
+  if (stmt.limit && rs.rows.size() > *stmt.limit) rs.rows.resize(*stmt.limit);
+  return rs;
+}
+
+}  // namespace scidock::sql

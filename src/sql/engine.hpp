@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file engine.hpp
+/// SQL execution over a Database: nested-loop joins with conjunct
+/// push-down, grouping/aggregation, ordering and projection. The paper's
+/// provenance queries (Query 1, Query 2, the Figure 5 histogram query)
+/// execute through this engine verbatim.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.hpp"
+#include "sql/table.hpp"
+
+namespace scidock::sql {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Aligned-columns rendering, header + separator + rows (the style of
+  /// the paper's Figure 10/11 screenshots).
+  std::string to_text() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(Database& db) : db_(db) {}
+
+  /// Parse and run one statement. SELECT returns its rows; CREATE/INSERT/
+  /// DELETE return an empty result (DELETE reports the removed-row count
+  /// in a single cell).
+  ResultSet execute(std::string_view sql);
+
+  ResultSet execute_select(const SelectStmt& stmt);
+
+ private:
+  Database& db_;
+};
+
+}  // namespace scidock::sql

@@ -1,0 +1,111 @@
+#include "sql/lexer.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::sql {
+
+bool Token::is_keyword(std::string_view kw) const {
+  return kind == TokenKind::Identifier && iequals(text, kw);
+}
+
+std::vector<Token> tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+
+  auto push = [&](TokenKind kind, std::string text) {
+    tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (c == '\n') { ++line; ++i; continue; }
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+
+    // -- line comment
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    // /* block comment */
+    if (c == '/' && i + 1 < sql.size() && sql[i + 1] == '*') {
+      const std::size_t end = sql.find("*/", i + 2);
+      if (end == std::string_view::npos) throw ParseError("SQL", "unterminated comment");
+      for (std::size_t k = i; k < end; ++k) {
+        if (sql[k] == '\n') ++line;
+      }
+      i = end + 2;
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = i;
+      while (i < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) ++i;
+      push(TokenKind::Identifier, std::string(sql.substr(start, i - start)));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      const std::size_t start = i;
+      bool is_float = false;
+      while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < sql.size() && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < sql.size() && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < sql.size() && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      push(is_float ? TokenKind::Float : TokenKind::Integer,
+           std::string(sql.substr(start, i - start)));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      for (;;) {
+        if (i >= sql.size()) throw ParseError("SQL", "unterminated string literal");
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {  // '' escape
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        if (sql[i] == '\n') ++line;
+        text += sql[i++];
+      }
+      push(TokenKind::String, std::move(text));
+      continue;
+    }
+
+    // multi-char symbols first
+    const std::string_view two = sql.substr(i, 2);
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=" || two == "||") {
+      push(TokenKind::Symbol, std::string(two));
+      i += 2;
+      continue;
+    }
+    if (std::string_view("(),.*+-/=<>%;").find(c) != std::string_view::npos) {
+      push(TokenKind::Symbol, std::string(1, c));
+      ++i;
+      continue;
+    }
+    throw ParseError("SQL", strformat("unexpected character '%c' at line %d", c, line));
+  }
+  push(TokenKind::End, "");
+  return tokens;
+}
+
+}  // namespace scidock::sql

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file lexer.hpp
+/// SQL tokenizer. Keywords are recognised case-insensitively; identifiers
+/// keep their original spelling.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scidock::sql {
+
+enum class TokenKind {
+  Identifier,   ///< bare name (possibly a keyword, resolved by the parser)
+  Integer,
+  Float,
+  String,       ///< contents of a '...' literal, unescaped
+  Symbol,       ///< punctuation / operator: ( ) , . * + - / = <> != <= >= < > %
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;   ///< identifier/keyword spelling, literal text, symbol
+  int line = 1;
+
+  bool is_symbol(std::string_view s) const {
+    return kind == TokenKind::Symbol && text == s;
+  }
+  /// Case-insensitive keyword test (only meaningful for identifiers).
+  bool is_keyword(std::string_view kw) const;
+};
+
+/// Tokenize; throws ParseError on malformed literals.
+std::vector<Token> tokenize(std::string_view sql);
+
+}  // namespace scidock::sql

@@ -1,0 +1,505 @@
+#include "sql/parser.hpp"
+
+#include "sql/lexer.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : tokens_(tokenize(sql)) {}
+
+  Statement parse() {
+    Statement stmt;
+    if (peek().is_keyword("SELECT")) {
+      stmt.kind = Statement::Kind::Select;
+      stmt.select = parse_select();
+    } else if (peek().is_keyword("CREATE")) {
+      stmt.kind = Statement::Kind::CreateTable;
+      stmt.create = parse_create();
+    } else if (peek().is_keyword("INSERT")) {
+      stmt.kind = Statement::Kind::Insert;
+      stmt.insert = parse_insert();
+    } else if (peek().is_keyword("DELETE")) {
+      stmt.kind = Statement::Kind::Delete;
+      stmt.del = parse_delete();
+    } else if (peek().is_keyword("UPDATE")) {
+      stmt.kind = Statement::Kind::Update;
+      stmt.update = parse_update();
+    } else {
+      fail("expected SELECT, CREATE, INSERT, UPDATE or DELETE");
+    }
+    // optional trailing semicolon
+    if (peek().is_symbol(";")) advance();
+    expect_end();
+    return stmt;
+  }
+
+  SelectStmt parse_select() {
+    expect_keyword("SELECT");
+    SelectStmt sel;
+    if (peek().is_keyword("DISTINCT")) {
+      advance();
+      sel.distinct = true;
+    }
+    if (peek().is_symbol("*")) {
+      advance();
+      sel.star_all = true;
+    } else {
+      for (;;) {
+        SelectItem item;
+        item.expr = parse_expr();
+        if (peek().is_keyword("AS")) {
+          advance();
+          item.alias = expect_identifier("alias");
+        } else if (peek().kind == TokenKind::Identifier && !is_clause_keyword(peek())) {
+          item.alias = expect_identifier("alias");
+        }
+        sel.items.push_back(std::move(item));
+        if (!peek().is_symbol(",")) break;
+        advance();
+      }
+    }
+    expect_keyword("FROM");
+    for (;;) {
+      TableRef ref;
+      ref.table = expect_identifier("table name");
+      if (peek().is_keyword("AS")) {
+        advance();
+        ref.alias = expect_identifier("table alias");
+      } else if (peek().kind == TokenKind::Identifier && !is_clause_keyword(peek())) {
+        ref.alias = expect_identifier("table alias");
+      }
+      if (ref.alias.empty()) ref.alias = ref.table;
+      sel.from.push_back(std::move(ref));
+      if (!peek().is_symbol(",")) break;
+      advance();
+    }
+    if (peek().is_keyword("WHERE")) {
+      advance();
+      sel.where = parse_expr();
+    }
+    if (peek().is_keyword("GROUP")) {
+      advance();
+      expect_keyword("BY");
+      for (;;) {
+        sel.group_by.push_back(parse_expr());
+        if (!peek().is_symbol(",")) break;
+        advance();
+      }
+    }
+    if (peek().is_keyword("HAVING")) {
+      advance();
+      sel.having = parse_expr();
+    }
+    if (peek().is_keyword("ORDER")) {
+      advance();
+      expect_keyword("BY");
+      for (;;) {
+        OrderItem item;
+        item.expr = parse_expr();
+        if (peek().is_keyword("ASC")) advance();
+        else if (peek().is_keyword("DESC")) {
+          advance();
+          item.descending = true;
+        }
+        sel.order_by.push_back(std::move(item));
+        if (!peek().is_symbol(",")) break;
+        advance();
+      }
+    }
+    if (peek().is_keyword("LIMIT")) {
+      advance();
+      const Token t = expect(TokenKind::Integer, "LIMIT count");
+      sel.limit = static_cast<std::size_t>(parse_int(t.text, "LIMIT"));
+    }
+    return sel;
+  }
+
+ private:
+  CreateTableStmt parse_create() {
+    expect_keyword("CREATE");
+    expect_keyword("TABLE");
+    CreateTableStmt stmt;
+    stmt.table = expect_identifier("table name");
+    expect_symbol("(");
+    for (;;) {
+      stmt.columns.push_back(expect_identifier("column name"));
+      // Optional type name(s) up to ',' or ')': e.g. "character varying(50)".
+      while (!peek().is_symbol(",") && !peek().is_symbol(")")) {
+        if (peek().kind == TokenKind::End) fail("unterminated column list");
+        if (peek().is_symbol("(")) {
+          // type parameters like varchar(50)
+          int depth = 0;
+          do {
+            if (peek().is_symbol("(")) ++depth;
+            if (peek().is_symbol(")")) --depth;
+            advance();
+          } while (depth > 0);
+        } else {
+          advance();
+        }
+      }
+      if (peek().is_symbol(")")) break;
+      expect_symbol(",");
+    }
+    expect_symbol(")");
+    return stmt;
+  }
+
+  InsertStmt parse_insert() {
+    expect_keyword("INSERT");
+    expect_keyword("INTO");
+    InsertStmt stmt;
+    stmt.table = expect_identifier("table name");
+    if (peek().is_symbol("(")) {
+      advance();
+      for (;;) {
+        stmt.columns.push_back(expect_identifier("column name"));
+        if (peek().is_symbol(")")) break;
+        expect_symbol(",");
+      }
+      expect_symbol(")");
+    }
+    expect_keyword("VALUES");
+    for (;;) {
+      expect_symbol("(");
+      std::vector<ExprPtr> row;
+      for (;;) {
+        row.push_back(parse_expr());
+        if (peek().is_symbol(")")) break;
+        expect_symbol(",");
+      }
+      expect_symbol(")");
+      stmt.rows.push_back(std::move(row));
+      if (!peek().is_symbol(",")) break;
+      advance();
+    }
+    return stmt;
+  }
+
+  UpdateStmt parse_update() {
+    expect_keyword("UPDATE");
+    UpdateStmt stmt;
+    stmt.table = expect_identifier("table name");
+    expect_keyword("SET");
+    for (;;) {
+      std::string column = expect_identifier("column name");
+      expect_symbol("=");
+      stmt.assignments.emplace_back(std::move(column), parse_expr());
+      if (!peek().is_symbol(",")) break;
+      advance();
+    }
+    if (peek().is_keyword("WHERE")) {
+      advance();
+      stmt.where = parse_expr();
+    }
+    return stmt;
+  }
+
+  DeleteStmt parse_delete() {
+    expect_keyword("DELETE");
+    expect_keyword("FROM");
+    DeleteStmt stmt;
+    stmt.table = expect_identifier("table name");
+    if (peek().is_keyword("WHERE")) {
+      advance();
+      stmt.where = parse_expr();
+    }
+    return stmt;
+  }
+
+  // ---- expressions (precedence climbing) ----
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (peek().is_keyword("OR")) {
+      advance();
+      lhs = Expr::make_binary(BinaryOp::Or, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_not();
+    while (peek().is_keyword("AND")) {
+      advance();
+      lhs = Expr::make_binary(BinaryOp::And, std::move(lhs), parse_not());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (peek().is_keyword("NOT")) {
+      advance();
+      return Expr::make_unary(UnaryOp::Not, parse_not());
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    if (peek().is_keyword("IS")) {
+      advance();
+      bool negated = false;
+      if (peek().is_keyword("NOT")) {
+        advance();
+        negated = true;
+      }
+      expect_keyword("NULL");
+      return Expr::make_unary(negated ? UnaryOp::IsNotNull : UnaryOp::IsNull,
+                              std::move(lhs));
+    }
+    if (peek().is_keyword("LIKE")) {
+      advance();
+      return Expr::make_binary(BinaryOp::Like, std::move(lhs), parse_additive());
+    }
+    bool negated = false;
+    if (peek().is_keyword("NOT")) {
+      // Only consume when it introduces IN / BETWEEN; a bare NOT here is
+      // a syntax error PostgreSQL also rejects.
+      advance();
+      negated = true;
+      if (!peek().is_keyword("IN") && !peek().is_keyword("BETWEEN")) {
+        fail("expected IN or BETWEEN after NOT");
+      }
+    }
+    if (peek().is_keyword("IN")) {
+      advance();
+      expect_symbol("(");
+      std::vector<ExprPtr> list;
+      for (;;) {
+        list.push_back(parse_expr());
+        if (!peek().is_symbol(",")) break;
+        advance();
+      }
+      expect_symbol(")");
+      return Expr::make_in(std::move(lhs), std::move(list), negated);
+    }
+    if (peek().is_keyword("BETWEEN")) {
+      advance();
+      ExprPtr lo = parse_additive();
+      expect_keyword("AND");
+      ExprPtr hi = parse_additive();
+      return Expr::make_between(std::move(lhs), std::move(lo), std::move(hi),
+                                negated);
+    }
+    struct CmpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static constexpr CmpMap kCmps[] = {
+        {"=", BinaryOp::Eq},  {"<>", BinaryOp::Ne}, {"!=", BinaryOp::Ne},
+        {"<=", BinaryOp::Le}, {">=", BinaryOp::Ge}, {"<", BinaryOp::Lt},
+        {">", BinaryOp::Gt}};
+    for (const CmpMap& m : kCmps) {
+      if (peek().is_symbol(m.sym)) {
+        advance();
+        return Expr::make_binary(m.op, std::move(lhs), parse_additive());
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    for (;;) {
+      if (peek().is_symbol("+")) {
+        advance();
+        lhs = Expr::make_binary(BinaryOp::Add, std::move(lhs), parse_multiplicative());
+      } else if (peek().is_symbol("-")) {
+        advance();
+        lhs = Expr::make_binary(BinaryOp::Sub, std::move(lhs), parse_multiplicative());
+      } else if (peek().is_symbol("||")) {
+        advance();
+        lhs = Expr::make_binary(BinaryOp::Concat, std::move(lhs), parse_multiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      if (peek().is_symbol("*")) {
+        advance();
+        lhs = Expr::make_binary(BinaryOp::Mul, std::move(lhs), parse_unary());
+      } else if (peek().is_symbol("/")) {
+        advance();
+        lhs = Expr::make_binary(BinaryOp::Div, std::move(lhs), parse_unary());
+      } else if (peek().is_symbol("%")) {
+        advance();
+        lhs = Expr::make_binary(BinaryOp::Mod, std::move(lhs), parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().is_symbol("-")) {
+      advance();
+      return Expr::make_unary(UnaryOp::Neg, parse_unary());
+    }
+    if (peek().is_symbol("+")) {
+      advance();
+      return parse_unary();
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    if (t.kind == TokenKind::Integer) {
+      advance();
+      return Expr::make_literal(Value(parse_int(t.text, "SQL integer")));
+    }
+    if (t.kind == TokenKind::Float) {
+      advance();
+      return Expr::make_literal(Value(parse_double(t.text, "SQL float")));
+    }
+    if (t.kind == TokenKind::String) {
+      advance();
+      return Expr::make_literal(Value(t.text));
+    }
+    if (t.is_symbol("(")) {
+      advance();
+      ExprPtr inner = parse_expr();
+      expect_symbol(")");
+      return inner;
+    }
+    if (t.kind == TokenKind::Identifier) {
+      if (t.is_keyword("NULL")) {
+        advance();
+        return Expr::make_literal(Value());
+      }
+      if (t.is_keyword("EXTRACT")) {
+        return parse_extract();
+      }
+      const std::string name = t.text;
+      advance();
+      if (peek().is_symbol("(")) {
+        // function call
+        advance();
+        std::vector<ExprPtr> args;
+        auto call = Expr::make_call(name, {});
+        if (peek().is_symbol("*")) {
+          advance();
+          call->star_arg = true;
+        } else if (!peek().is_symbol(")")) {
+          for (;;) {
+            args.push_back(parse_expr());
+            if (!peek().is_symbol(",")) break;
+            advance();
+          }
+        }
+        expect_symbol(")");
+        call->args = std::move(args);
+        return call;
+      }
+      if (peek().is_symbol(".")) {
+        advance();
+        if (peek().is_symbol("*")) {
+          advance();
+          auto star = Expr::make_star();
+          star->qualifier = name;
+          return star;
+        }
+        const std::string column = expect_identifier("column name");
+        return Expr::make_column(name, column);
+      }
+      return Expr::make_column("", name);
+    }
+    fail("unexpected token '" + t.text + "'");
+  }
+
+  /// EXTRACT('epoch' FROM expr) — PostgreSQL's quoted-field spelling used
+  /// verbatim in the paper's queries (also accepts the bare EPOCH keyword).
+  ExprPtr parse_extract() {
+    expect_keyword("EXTRACT");
+    expect_symbol("(");
+    std::string field;
+    if (peek().kind == TokenKind::String) {
+      field = to_lower(peek().text);
+      advance();
+    } else {
+      field = to_lower(expect_identifier("extract field"));
+    }
+    expect_keyword("FROM");
+    ExprPtr operand = parse_expr();
+    expect_symbol(")");
+    std::vector<ExprPtr> args;
+    args.push_back(Expr::make_literal(Value(field)));
+    args.push_back(std::move(operand));
+    return Expr::make_call("extract", std::move(args));
+  }
+
+  // ---- token helpers ----
+
+  static bool is_clause_keyword(const Token& t) {
+    for (const char* kw : {"FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT",
+                           "AS", "AND", "OR", "NOT", "ASC", "DESC", "ON",
+                           "LIKE", "IS", "BY", "VALUES", "IN", "BETWEEN",
+                           "SET", "UPDATE"}) {
+      if (t.is_keyword(kw)) return true;
+    }
+    return false;
+  }
+
+  const Token& peek() const { return tokens_[pos_]; }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Token expect(TokenKind kind, std::string_view what) {
+    if (peek().kind != kind) fail("expected " + std::string(what));
+    Token t = peek();
+    advance();
+    return t;
+  }
+
+  std::string expect_identifier(std::string_view what) {
+    return expect(TokenKind::Identifier, what).text;
+  }
+
+  void expect_symbol(std::string_view sym) {
+    if (!peek().is_symbol(sym)) fail("expected '" + std::string(sym) + "'");
+    advance();
+  }
+
+  void expect_keyword(std::string_view kw) {
+    if (!peek().is_keyword(kw)) fail("expected " + std::string(kw));
+    advance();
+  }
+
+  void expect_end() {
+    if (peek().kind != TokenKind::End) {
+      fail("unexpected trailing token '" + peek().text + "'");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("SQL", why + strformat(" (line %d)", peek().line));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Statement parse_statement(std::string_view sql) { return Parser(sql).parse(); }
+
+SelectStmt parse_select(std::string_view sql) {
+  Statement stmt = parse_statement(sql);
+  SCIDOCK_REQUIRE(stmt.kind == Statement::Kind::Select, "expected a SELECT statement");
+  return std::move(stmt.select);
+}
+
+}  // namespace scidock::sql

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file parser.hpp
+/// Recursive-descent SQL parser for the subset the provenance layer needs:
+/// SELECT (joins, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, aggregates,
+/// EXTRACT), CREATE TABLE, INSERT, DELETE.
+
+#include <string_view>
+
+#include "sql/ast.hpp"
+
+namespace scidock::sql {
+
+/// Parse one statement; throws ParseError with line info on syntax errors.
+Statement parse_statement(std::string_view sql);
+
+/// Convenience: parse text that must be a SELECT.
+SelectStmt parse_select(std::string_view sql);
+
+}  // namespace scidock::sql

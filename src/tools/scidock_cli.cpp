@@ -1,0 +1,186 @@
+// scidock_cli — command-line front end for the library.
+//
+//   scidock_cli dock <RECEPTOR> <LIGAND> [--engine ad4|vina]
+//   scidock_cli screen [--receptors N] [--threads N] [--engine auto|ad4|vina]
+//   scidock_cli sweep [--pairs N] [--engine ad4|vina] [--cores 2,4,...]
+//   scidock_cli query "<SQL>" [--pairs N]
+//   scidock_cli spec
+//   scidock_cli prov-export [--pairs N]
+//
+// `dock` and `screen` run the real docking engines natively; `sweep`,
+// `query` and `prov-export` replay on the cloud simulator with full
+// provenance capture.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/table2.hpp"
+#include "dock/autodock4.hpp"
+#include "dock/dlg.hpp"
+#include "dock/vina.hpp"
+#include "mol/prepare.hpp"
+#include "scidock/analysis.hpp"
+#include "scidock/experiment.hpp"
+#include "util/strings.hpp"
+#include "wf/relational.hpp"
+#include "wf/spec.hpp"
+
+namespace {
+
+using namespace scidock;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scidock_cli <command> [options]\n"
+               "  dock <RECEPTOR> <LIGAND> [--engine ad4|vina]\n"
+               "  screen [--receptors N] [--threads N] [--engine auto|ad4|vina]\n"
+               "  sweep [--pairs N] [--engine ad4|vina] [--cores 2,4,8,...]\n"
+               "  query \"<SQL>\" [--pairs N]\n"
+               "  spec\n"
+               "  prov-export [--pairs N]\n");
+  return 2;
+}
+
+/// Value of `--name` in argv, or fallback.
+std::string flag(const std::vector<std::string>& args, const std::string& name,
+                 const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--" + name) return args[i + 1];
+  }
+  return fallback;
+}
+
+core::EngineMode engine_mode(const std::string& name) {
+  if (name == "ad4") return core::EngineMode::ForceAd4;
+  if (name == "vina") return core::EngineMode::ForceVina;
+  return core::EngineMode::Adaptive;
+}
+
+int cmd_dock(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string engine = flag(args, "engine", "vina");
+  std::printf("docking %s x %s with %s\n", args[0].c_str(), args[1].c_str(),
+              engine.c_str());
+  const mol::PreparedReceptor receptor =
+      mol::prepare_receptor(data::make_receptor(args[0]));
+  const mol::PreparedLigand ligand =
+      mol::prepare_ligand(data::make_ligand(args[1]));
+  const dock::GridBox box =
+      dock::GridBox::around(receptor.molecule.center(), 10.0, 0.55);
+  Rng rng(fnv1a64(args[0] + args[1]));
+  dock::DockingResult result;
+  if (engine == "ad4") {
+    dock::Autodock4Engine ad4{dock::DockingParameterFile{}};
+    result = ad4.dock(receptor, ligand, box, rng);
+    std::printf("%s", dock::write_dlg(result).c_str());
+  } else {
+    dock::VinaEngine vina{dock::VinaConfig{}};
+    result = vina.dock(receptor, ligand, box, rng);
+    std::printf("%s", dock::write_vina_log(result).c_str());
+  }
+  return result.favorable() ? 0 : 1;
+}
+
+int cmd_screen(const std::vector<std::string>& args) {
+  const int n = std::atoi(flag(args, "receptors", "24").c_str());
+  const int threads = std::atoi(flag(args, "threads", "2").c_str());
+  core::ScidockOptions options;
+  options.engine_mode = engine_mode(flag(args, "engine", "auto"));
+  const std::vector<std::string> receptors(
+      data::table2_receptors().begin(),
+      data::table2_receptors().begin() +
+          std::min<std::size_t>(static_cast<std::size_t>(n),
+                                data::table2_receptors().size()));
+  core::Experiment exp =
+      core::make_experiment(receptors, data::table3_ligands(), 0, options);
+  const wf::NativeReport report = core::run_native(exp, threads);
+  std::printf("%zu pairs docked in %.1f s (%lld lost)\n",
+              report.output.size(), report.wall_seconds, report.tuples_lost);
+
+  // Summarise with an SRQuery over the output relation.
+  const wf::Relation summary = wf::query_relation(
+      report.output,
+      "SELECT ligand, count(*) pairs, sum(feb < 0) favorable, "
+      "min(feb) best_feb FROM rel GROUP BY ligand ORDER BY ligand");
+  std::printf("\n%-8s %6s %10s %10s\n", "ligand", "pairs", "favorable",
+              "best FEB");
+  for (const wf::Tuple& t : summary.tuples()) {
+    std::printf("%-8s %6s %10s %10s\n", t.require("ligand").c_str(),
+                t.require("pairs").c_str(), t.require("favorable").c_str(),
+                t.require("best_feb").c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  const int pairs = std::atoi(flag(args, "pairs", "9996").c_str());
+  core::ScidockOptions options;
+  options.engine_mode = engine_mode(flag(args, "engine", "ad4"));
+  core::Experiment exp = core::make_experiment(
+      data::table2_receptors(), data::table2_ligands(),
+      static_cast<std::size_t>(pairs), options);
+  std::printf("%6s %14s %10s\n", "cores", "TET", "cost");
+  double tet2 = 0.0;
+  for (const std::string& spec : split(flag(args, "cores", "2,4,8,16,32,64,128"), ',')) {
+    const int cores = std::atoi(spec.c_str());
+    if (cores <= 0) continue;
+    const wf::SimReport r = core::run_simulated(exp, cores);
+    if (tet2 == 0.0) tet2 = r.total_execution_time_s * cores / 2.0;
+    std::printf("%6d %14s %9.0f$\n", cores,
+                human_duration(r.total_execution_time_s).c_str(),
+                r.cloud_cost_usd);
+  }
+  return 0;
+}
+
+/// Run a small simulated screening with provenance, then apply `fn`.
+template <typename F>
+int with_provenance(const std::vector<std::string>& args, F&& fn) {
+  const int pairs = std::atoi(flag(args, "pairs", "200").c_str());
+  core::Experiment exp = core::make_experiment(
+      data::table2_receptors(), data::table2_ligands(),
+      static_cast<std::size_t>(pairs), {});
+  prov::ProvenanceStore store;
+  core::run_simulated(exp, 16, &store);
+  return fn(store);
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  return with_provenance(args, [&](prov::ProvenanceStore& store) {
+    std::printf("%s", store.query(args[0]).to_text().c_str());
+    return 0;
+  });
+}
+
+int cmd_prov_export(const std::vector<std::string>& args) {
+  return with_provenance(args, [](prov::ProvenanceStore& store) {
+    std::printf("%s", store.export_prov_n().c_str());
+    return 0;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "dock") return cmd_dock(args);
+    if (command == "screen") return cmd_screen(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "prov-export") return cmd_prov_export(args);
+    if (command == "spec") {
+      std::printf("%s", wf::save_spec(core::scidock_workflow_def()).c_str());
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scidock_cli: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

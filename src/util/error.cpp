@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scidock::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "scidock assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace scidock::detail

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file error.hpp
+/// Error-handling primitives shared by every scidock library.
+///
+/// The library follows the C++ Core Guidelines convention: programming
+/// errors (violated preconditions) terminate via SCIDOCK_ASSERT, while
+/// recoverable environment/input errors throw a typed exception derived
+/// from scidock::Error so callers can catch per category.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace scidock {
+
+/// Root of the scidock exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input file / unparsable text (PDB, SDF, XML, SQL, ...).
+class ParseError : public Error {
+ public:
+  ParseError(std::string_view kind, std::string_view detail)
+      : Error(std::string(kind) + " parse error: " + std::string(detail)) {}
+};
+
+/// A lookup that the caller expected to succeed did not (unknown atom type,
+/// missing table, missing file in the VFS, unknown activity tag, ...).
+class NotFoundError : public Error {
+ public:
+  NotFoundError(std::string_view kind, std::string_view key)
+      : Error("not found: " + std::string(kind) + " '" + std::string(key) + "'") {}
+};
+
+/// Request that is syntactically fine but semantically invalid for the
+/// current state (docking an unprepared ligand, scheduling on a released
+/// VM, querying a dropped table, ...).
+class InvalidStateError : public Error {
+ public:
+  explicit InvalidStateError(const std::string& what) : Error(what) {}
+};
+
+/// An activity execution failed at runtime (the workflow engine catches
+/// these and drives its re-execution machinery).
+class ActivityError : public Error {
+ public:
+  explicit ActivityError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace scidock
+
+/// Precondition / invariant check. Violations are programming errors and
+/// abort with a diagnostic (never throw) so they are loud in tests.
+#define SCIDOCK_ASSERT(expr)                                                \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::scidock::detail::assert_fail(#expr, __FILE__, __LINE__, "");        \
+    }                                                                       \
+  } while (false)
+
+#define SCIDOCK_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::scidock::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                       \
+  } while (false)
+
+/// Recoverable-error check: throws InvalidStateError when violated.
+#define SCIDOCK_REQUIRE(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      throw ::scidock::InvalidStateError(msg);                              \
+    }                                                                       \
+  } while (false)

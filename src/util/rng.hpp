@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation.
+///
+/// Everything in scidock that needs randomness (synthetic structure
+/// generation, docking search, cloud jitter, failure injection) takes an
+/// explicit Rng so runs are reproducible from a single seed. The generator
+/// is xoshiro256** seeded through splitmix64, the standard recipe for
+/// decorrelating small seeds.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace scidock {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a 64-bit hash of a string; used to derive per-entity seeds from
+/// stable identifiers (e.g. the PDB code "2HHN") so synthetic structures
+/// are a pure function of their name.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5c1d0cULL) { reseed(seed); }
+
+  /// Derive a generator for a named sub-stream; different names give
+  /// statistically independent streams from the same parent seed.
+  Rng fork(std::string_view stream_name) const {
+    return Rng(seed_ ^ fnv1a64(stream_name));
+  }
+
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (no cached spare; keeps state simple).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stdev) { return mean + stdev * normal(); }
+
+  /// Log-normal: exp of a normal with the given *underlying* mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double rate);
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t seed_ = 0;
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace scidock

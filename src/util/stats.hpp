@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics and histograms used by the provenance analytics,
+/// the cloud cost model and the benchmark report writers.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace scidock {
+
+/// Welford streaming mean/variance plus min/max/sum. O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); samples outside the range land in the
+/// first/last bin so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// ASCII rendering (one line per bin with a proportional bar), as used by
+  /// the Figure 5 bench.
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact percentile over a copied sample set (linear interpolation between
+/// closest ranks). p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+}  // namespace scidock

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Work-queue thread pool used by the native workflow executor and by the
+/// Vina engine's exhaustiveness-level parallelism.
+///
+/// Design: a single mutex-protected FIFO. The pool is small (it models
+/// "virtual cores" of one VM, typically 2-16), so a sharded/stealing deque
+/// would be complexity without measurable benefit; tasks in scidock are
+/// coarse (whole activity executions or whole MC chains).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scidock {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains nothing: outstanding tasks are completed before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; the future reports its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// Exceptions from any iteration are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace scidock

@@ -1,0 +1,124 @@
+#include "vfs/vfs.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace scidock::vfs {
+
+std::string SharedFileSystem::normalize(std::string_view path) {
+  std::string out = "/";
+  for (char c : path) {
+    if (c == '/' && !out.empty() && out.back() == '/') continue;
+    out += c;
+  }
+  SCIDOCK_REQUIRE(out != "/", "empty path");
+  return out;
+}
+
+void SharedFileSystem::write(std::string_view path, std::string content,
+                             double now, std::string_view producer) {
+  const std::string key = normalize(path);
+  std::lock_guard lock(mutex_);
+  bytes_written_ += content.size();
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.info.path < k; });
+  if (it != entries_.end() && it->info.path == key) {
+    it->info.size = content.size();
+    it->info.mtime = now;
+    it->info.producer = std::string(producer);
+    it->content = std::move(content);
+    return;
+  }
+  Entry entry;
+  entry.info = FileInfo{key, content.size(), now, std::string(producer)};
+  entry.content = std::move(content);
+  entries_.insert(it, std::move(entry));
+}
+
+std::string SharedFileSystem::read(std::string_view path) const {
+  const std::string key = normalize(path);
+  std::lock_guard lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.info.path < k; });
+  if (it == entries_.end() || it->info.path != key) {
+    throw NotFoundError("file", key);
+  }
+  bytes_read_ += it->content.size();
+  return it->content;
+}
+
+bool SharedFileSystem::exists(std::string_view path) const {
+  const std::string key = normalize(path);
+  std::lock_guard lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.info.path < k; });
+  return it != entries_.end() && it->info.path == key;
+}
+
+std::optional<FileInfo> SharedFileSystem::stat(std::string_view path) const {
+  const std::string key = normalize(path);
+  std::lock_guard lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.info.path < k; });
+  if (it == entries_.end() || it->info.path != key) return std::nullopt;
+  return it->info;
+}
+
+void SharedFileSystem::remove(std::string_view path) {
+  const std::string key = normalize(path);
+  std::lock_guard lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.info.path < k; });
+  if (it == entries_.end() || it->info.path != key) {
+    throw NotFoundError("file", key);
+  }
+  entries_.erase(it);
+}
+
+std::vector<FileInfo> SharedFileSystem::list(std::string_view dir_prefix) const {
+  const std::string key =
+      (dir_prefix.empty() || dir_prefix == "/") ? "/" : normalize(dir_prefix);
+  std::lock_guard lock(mutex_);
+  std::vector<FileInfo> out;
+  for (const Entry& e : entries_) {
+    if (e.info.path.starts_with(key)) out.push_back(e.info);
+  }
+  return out;
+}
+
+std::size_t SharedFileSystem::file_count() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t SharedFileSystem::total_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const Entry& e : entries_) total += e.info.size;
+  return total;
+}
+
+std::size_t SharedFileSystem::bytes_written() const {
+  std::lock_guard lock(mutex_);
+  return bytes_written_;
+}
+
+std::size_t SharedFileSystem::bytes_read() const {
+  std::lock_guard lock(mutex_);
+  return bytes_read_;
+}
+
+std::pair<std::string, std::string> split_path(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos) return {"/", std::string(path)};
+  return {std::string(path.substr(0, slash + 1)),
+          std::string(path.substr(slash + 1))};
+}
+
+}  // namespace scidock::vfs

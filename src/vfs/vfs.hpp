@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file vfs.hpp
+/// Virtual shared filesystem — the stand-in for the paper's s3fs (a
+/// FUSE filesystem backed by Amazon S3) that all SciCumulus VMs mount.
+/// Files live in memory; a latency model prices each operation so the
+/// cloud simulator can charge realistic staging time, and a catalogue of
+/// file metadata feeds the provenance hfile table (Query 2).
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scidock::vfs {
+
+struct FileInfo {
+  std::string path;      ///< absolute path, '/'-separated
+  std::size_t size = 0;  ///< bytes
+  double mtime = 0.0;    ///< simulation seconds at last write
+  std::string producer;  ///< activity tag that wrote it ("" for staged input)
+};
+
+/// Latency model for pricing operations in simulation seconds. Defaults
+/// approximate s3fs over EC2-internal networking: high per-op latency,
+/// modest throughput.
+struct LatencyModel {
+  double op_latency_s = 0.02;          ///< per metadata/IO operation
+  double throughput_bytes_per_s = 50.0e6;
+
+  double read_cost(std::size_t bytes) const {
+    return op_latency_s + static_cast<double>(bytes) / throughput_bytes_per_s;
+  }
+  double write_cost(std::size_t bytes) const {
+    return op_latency_s + static_cast<double>(bytes) / throughput_bytes_per_s;
+  }
+};
+
+/// Thread-safe in-memory filesystem.
+class SharedFileSystem {
+ public:
+  explicit SharedFileSystem(LatencyModel latency = {}) : latency_(latency) {}
+
+  /// Create or replace. `now` stamps mtime (simulation seconds).
+  void write(std::string_view path, std::string content, double now = 0.0,
+             std::string_view producer = "");
+
+  /// Content or throws NotFoundError.
+  std::string read(std::string_view path) const;
+  bool exists(std::string_view path) const;
+  /// Metadata or nullopt.
+  std::optional<FileInfo> stat(std::string_view path) const;
+  /// Delete; throws NotFoundError if absent.
+  void remove(std::string_view path);
+
+  /// All files whose path starts with `dir_prefix`, sorted by path.
+  std::vector<FileInfo> list(std::string_view dir_prefix = "/") const;
+
+  std::size_t file_count() const;
+  std::size_t total_bytes() const;
+
+  const LatencyModel& latency() const { return latency_; }
+  /// Simulated cost of reading/writing a file of the given size.
+  double read_cost(std::size_t bytes) const { return latency_.read_cost(bytes); }
+  double write_cost(std::size_t bytes) const { return latency_.write_cost(bytes); }
+
+  // ---- I/O accounting (for the benches' data-volume reports) ----
+  std::size_t bytes_written() const;
+  std::size_t bytes_read() const;
+
+ private:
+  struct Entry {
+    std::string content;
+    FileInfo info;
+  };
+  /// Normalise: ensure a single leading '/', collapse duplicate slashes.
+  static std::string normalize(std::string_view path);
+
+  LatencyModel latency_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  ///< sorted by path for cheap prefix listing
+  std::size_t bytes_written_ = 0;
+  mutable std::size_t bytes_read_ = 0;
+};
+
+/// Split "/a/b/c.dlg" into directory "/a/b/" and name "c.dlg".
+std::pair<std::string, std::string> split_path(std::string_view path);
+
+}  // namespace scidock::vfs

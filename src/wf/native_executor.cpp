@@ -1,0 +1,187 @@
+#include "wf/native_executor.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scidock::wf {
+
+namespace {
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+NativeExecutor::NativeExecutor(const Pipeline& pipeline,
+                               vfs::SharedFileSystem& fs,
+                               prov::ProvenanceStore& prov,
+                               NativeExecutorOptions options)
+    : pipeline_(pipeline), fs_(fs), prov_(prov), options_(std::move(options)) {
+  for (const Stage& st : pipeline.stages()) {
+    SCIDOCK_REQUIRE(static_cast<bool>(st.impl),
+                    "stage '" + st.tag + "' has no native implementation");
+  }
+}
+
+NativeReport NativeExecutor::run(const Relation& input,
+                                 const std::string& workflow_tag) {
+  const double t0 = wall_now();
+  const long long wkfid =
+      prov_.begin_workflow(workflow_tag, "native execution", options_.expdir, 0.0);
+  std::map<std::string, long long> actids;
+  for (const Stage& st : pipeline_.stages()) {
+    actids[st.tag] = prov_.register_activity(wkfid, st.tag, "./experiment.cmd",
+                                             std::string(to_string(st.op)));
+  }
+
+  // SciCumulus relations are file-backed (Figure 2: input_1.txt); stage
+  // the input relation on the shared FS and record it in provenance so
+  // Query-2-style lookups can find it.
+  {
+    const std::string rel_path = options_.expdir + "/relations/input_1.txt";
+    const std::string text = input.to_file_text();
+    const std::size_t size = text.size();
+    fs_.write(rel_path, text, 0.0, workflow_tag);
+    const auto [dir, name] = vfs::split_path(rel_path);
+    prov_.record_file(wkfid, 0, 0, name, size, dir);
+  }
+
+  NativeReport report;
+  std::mutex report_mutex;
+  std::vector<std::vector<Tuple>> final_tuples(input.size());
+
+  Rng root_rng(options_.seed);
+
+  auto process_tuple = [&](std::size_t tuple_idx) {
+    // Each tuple owns a deterministic stream regardless of scheduling.
+    Rng tuple_rng = root_rng.fork("tuple-" + std::to_string(tuple_idx));
+    std::vector<Tuple> frontier{input.tuples()[tuple_idx]};
+    std::string stage_tag = pipeline_.stages().front().tag;
+
+    while (stage_tag != kEndOfPipeline && !frontier.empty()) {
+      const Stage& st = pipeline_.stage(stage_tag);
+      std::vector<Tuple> produced;
+      for (const Tuple& in_tuple : frontier) {
+        bool done = false;
+        std::string last_error;
+        for (int attempt = 1; attempt <= options_.max_attempts && !done; ++attempt) {
+          ActivationContext ctx;
+          ctx.fs = &fs_;
+          ctx.prov = &prov_;
+          ctx.wkfid = wkfid;
+          ctx.actid = actids[st.tag];
+          ctx.expdir = options_.expdir;
+          ctx.rng = tuple_rng.fork(st.tag + "#" + std::to_string(attempt));
+          const double start = wall_now() - t0;
+          ctx.now = start;
+          ctx.taskid = prov_.begin_activation(
+              ctx.actid, wkfid, start, /*vmid=*/0,
+              in_tuple.get("pair").value_or(""));
+          auto notify = [&](bool success) {
+            if (!options_.monitor) return;
+            try {
+              options_.monitor(ActivationEvent{
+                  st.tag, in_tuple.get("pair").value_or(""), success, attempt,
+                  wall_now() - t0 - start});
+            } catch (...) {
+              // A broken monitor must not take the workflow down.
+            }
+          };
+          try {
+            std::vector<Tuple> out = st.impl(in_tuple, ctx);
+            prov_.end_activation(ctx.taskid, wall_now() - t0,
+                                 prov::kStatusFinished, 0, attempt);
+            {
+              std::lock_guard lock(report_mutex);
+              ++report.activations_finished;
+              report.per_activity_seconds[st.tag].add(wall_now() - t0 - start);
+            }
+            notify(true);
+            for (Tuple& o : out) produced.push_back(std::move(o));
+            done = true;
+          } catch (const Error& e) {
+            prov_.end_activation(ctx.taskid, wall_now() - t0,
+                                 prov::kStatusFailed, 1, attempt);
+            last_error = e.what();
+            {
+              std::lock_guard lock(report_mutex);
+              ++report.activations_failed;
+            }
+            notify(false);
+          }
+        }
+        if (!done) {
+          std::lock_guard lock(report_mutex);
+          ++report.tuples_lost;
+          report.failure_messages.push_back(last_error);
+          SCIDOCK_LOG_WARN("tuple %zu lost at stage %s: %s", tuple_idx,
+                           st.tag.c_str(), last_error.c_str());
+        }
+      }
+      if (produced.empty()) {
+        frontier.clear();  // filtered out or lost: nothing reaches the output
+        break;
+      }
+      // Route on the first produced tuple (SciDock routing is per-pair).
+      stage_tag = pipeline_.next_stage(st.tag, produced.front());
+      frontier = std::move(produced);
+    }
+    // Only tuples that traversed the whole chain appear in the output.
+    if (stage_tag == kEndOfPipeline) {
+      final_tuples[tuple_idx] = std::move(frontier);
+    }
+  };
+
+  if (options_.threads > 1) {
+    ThreadPool pool(static_cast<std::size_t>(options_.threads));
+    pool.parallel_for(input.size(), process_tuple);
+  } else {
+    for (std::size_t i = 0; i < input.size(); ++i) process_tuple(i);
+  }
+
+  // Assemble the output relation from the first completed tuple's schema.
+  std::vector<std::string> fields;
+  for (const auto& bucket : final_tuples) {
+    if (!bucket.empty()) {
+      for (const auto& [k, v] : bucket.front().fields()) fields.push_back(k);
+      break;
+    }
+  }
+  report.output = Relation(fields);
+  for (auto& bucket : final_tuples) {
+    for (Tuple& t : bucket) {
+      Tuple projected;
+      bool complete = true;
+      for (const std::string& f : fields) {
+        const auto v = t.get(f);
+        if (!v) {
+          complete = false;
+          break;
+        }
+        projected.set(f, *v);
+      }
+      if (complete) report.output.add(std::move(projected));
+    }
+  }
+
+  // The final output relation also lands on the shared FS.
+  {
+    const std::string rel_path = options_.expdir + "/relations/output_1.txt";
+    const std::string text = report.output.to_file_text();
+    const std::size_t size = text.size();
+    fs_.write(rel_path, text, wall_now() - t0, workflow_tag);
+    const auto [dir, name] = vfs::split_path(rel_path);
+    prov_.record_file(wkfid, 0, 0, name, size, dir);
+  }
+
+  report.wall_seconds = wall_now() - t0;
+  prov_.end_workflow(wkfid, report.wall_seconds);
+  return report;
+}
+
+}  // namespace scidock::wf

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file native_executor.hpp
+/// The native executor really runs the activity implementations (real
+/// parsing, grid math, docking) on a thread pool whose size plays the
+/// role of "virtual cores". Used for tests, examples and the docking-
+/// quality experiments (Table 3), where the *results* matter rather than
+/// cloud-scale timing.
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "prov/prov.hpp"
+#include "util/stats.hpp"
+#include "vfs/vfs.hpp"
+#include "wf/pipeline.hpp"
+
+namespace scidock::wf {
+
+/// Progress event for runtime steering (paper SS IV.B: "SciCumulus allows
+/// for runtime provenance query ... it allows for user steering and
+/// anticipating results"). Fired after every activation attempt; the
+/// provenance store is already up to date when the callback runs, so the
+/// monitor can issue SQL against it mid-execution.
+struct ActivationEvent {
+  std::string activity_tag;
+  std::string pair;        ///< the tuple's workload identifier, if any
+  bool success = true;
+  int attempt = 1;
+  double seconds = 0.0;
+};
+using MonitorFn = std::function<void(const ActivationEvent&)>;
+
+struct NativeExecutorOptions {
+  int threads = 1;
+  int max_attempts = 3;      ///< per-stage re-execution budget
+  std::string expdir = "/root/exp_scidock/";
+  std::uint64_t seed = 42;
+  /// Optional steering monitor; invoked from worker threads (must be
+  /// thread-safe). Exceptions from the monitor are swallowed.
+  MonitorFn monitor;
+};
+
+struct NativeReport {
+  Relation output;                     ///< tuples that completed the chain
+  double wall_seconds = 0.0;
+  long long activations_finished = 0;
+  long long activations_failed = 0;    ///< failed attempts (re-executed)
+  long long tuples_lost = 0;           ///< exhausted their attempt budget
+  std::map<std::string, RunningStats> per_activity_seconds;
+  std::vector<std::string> failure_messages;  ///< first error per lost tuple
+};
+
+class NativeExecutor {
+ public:
+  NativeExecutor(const Pipeline& pipeline, vfs::SharedFileSystem& fs,
+                 prov::ProvenanceStore& prov, NativeExecutorOptions options);
+
+  /// Run every input tuple through its chain; tuples execute concurrently
+  /// on the thread pool, each chain sequentially.
+  NativeReport run(const Relation& input, const std::string& workflow_tag);
+
+ private:
+  const Pipeline& pipeline_;
+  vfs::SharedFileSystem& fs_;
+  prov::ProvenanceStore& prov_;
+  NativeExecutorOptions options_;
+};
+
+}  // namespace scidock::wf

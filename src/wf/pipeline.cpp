@@ -1,0 +1,69 @@
+#include "wf/pipeline.hpp"
+
+#include "util/error.hpp"
+
+namespace scidock::wf {
+
+void ActivationContext::emit_file(const std::string& path,
+                                  std::string content) const {
+  SCIDOCK_ASSERT(fs != nullptr);
+  const std::size_t size = content.size();
+  fs->write(path, std::move(content), now, "");
+  if (prov != nullptr) {
+    const auto [dir, name] = vfs::split_path(path);
+    prov->record_file(wkfid, actid, taskid, name, size, dir);
+  }
+}
+
+void ActivationContext::emit_value(std::string_view key, double num,
+                                   std::string_view text) const {
+  if (prov != nullptr) prov->record_value(taskid, key, num, text);
+}
+
+void Pipeline::add_stage(Stage stage) {
+  SCIDOCK_REQUIRE(stage_index(stage.tag) < 0,
+                  "duplicate pipeline stage '" + stage.tag + "'");
+  stages_.push_back(std::move(stage));
+}
+
+const Stage& Pipeline::stage(std::string_view tag) const {
+  const int idx = stage_index(tag);
+  if (idx < 0) throw NotFoundError("pipeline stage", tag);
+  return stages_[static_cast<std::size_t>(idx)];
+}
+
+int Pipeline::stage_index(std::string_view tag) const {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].tag == tag) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Pipeline::next_stage(std::string_view tag, const Tuple& tuple) const {
+  const int idx = stage_index(tag);
+  SCIDOCK_REQUIRE(idx >= 0, "unknown stage '" + std::string(tag) + "'");
+  const Stage& st = stages_[static_cast<std::size_t>(idx)];
+  if (st.route) {
+    const std::string routed = st.route(tuple);
+    if (!routed.empty()) return routed;  // explicit target or kEndOfPipeline
+  }
+  if (static_cast<std::size_t>(idx) + 1 < stages_.size()) {
+    return stages_[static_cast<std::size_t>(idx) + 1].tag;
+  }
+  return kEndOfPipeline;
+}
+
+std::vector<std::string> Pipeline::chain_for(const Tuple& tuple) const {
+  SCIDOCK_REQUIRE(!stages_.empty(), "empty pipeline");
+  std::vector<std::string> chain;
+  std::string current = stages_.front().tag;
+  while (current != kEndOfPipeline) {
+    SCIDOCK_REQUIRE(chain.size() <= stages_.size(),
+                    "pipeline routing loops for this tuple");
+    chain.push_back(current);
+    current = next_stage(current, tuple);
+  }
+  return chain;
+}
+
+}  // namespace scidock::wf

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file relation.hpp
+/// The algebraic data model of SciCumulus (Ogasawara et al., VLDB 2011):
+/// activities consume and produce *relations*; each tuple is processed
+/// independently, which is what the engine parallelises.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scidock::wf {
+
+/// One tuple: ordered field values keyed by field name. Values are
+/// strings, as in SciCumulus' file-backed relations (input_1.txt).
+class Tuple {
+ public:
+  Tuple() = default;
+
+  void set(std::string field, std::string value);
+  std::optional<std::string> get(std::string_view field) const;
+  /// Value or throws NotFoundError.
+  const std::string& require(std::string_view field) const;
+  bool has(std::string_view field) const;
+  double get_double(std::string_view field, double fallback) const;
+
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// A relation: a field schema plus tuples.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> field_names)
+      : field_names_(std::move(field_names)) {}
+
+  const std::vector<std::string>& field_names() const { return field_names_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Appends; the tuple must cover every schema field.
+  void add(Tuple tuple);
+
+  /// Serialise in SciCumulus' tab-separated relation-file format
+  /// (header row of field names, one row per tuple).
+  std::string to_file_text() const;
+  static Relation from_file_text(std::string_view text);
+
+ private:
+  std::vector<std::string> field_names_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace scidock::wf

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file relational.hpp
+/// The SRQuery side of the SciCumulus algebra (Ogasawara et al. 2011):
+/// workflow relations are genuinely relational, so they can be loaded
+/// into the SQL engine and queried/reduced with SQL instead of custom
+/// C++ — the same trick the provenance layer uses. Numeric-looking
+/// fields are typed as numbers so aggregates work directly.
+
+#include <string_view>
+
+#include "sql/engine.hpp"
+#include "sql/table.hpp"
+#include "wf/relation.hpp"
+
+namespace scidock::wf {
+
+/// Load a workflow relation into `db` as table `name`. Field values that
+/// parse as integers/doubles become numeric; everything else stays text.
+/// Throws InvalidStateError if the table already exists.
+sql::Table& to_sql_table(const Relation& relation, sql::Database& db,
+                         std::string_view name);
+
+/// Convert a SQL result set back into a workflow relation (all values
+/// rendered as strings, the relation-file representation).
+Relation from_result_set(const sql::ResultSet& rs);
+
+/// The SRQuery operator: run one SELECT over a relation exposed as table
+/// `rel` and return the result as a new relation.
+///
+///   auto hits = query_relation(output,
+///       "SELECT ligand, count(*) hits FROM rel WHERE feb < 0 "
+///       "GROUP BY ligand ORDER BY hits DESC");
+Relation query_relation(const Relation& relation, std::string_view select_sql);
+
+}  // namespace scidock::wf

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Activation scheduling policies. SciCumulus' native policy is a
+/// weighted-cost greedy algorithm (Oliveira et al. 2012): long-running
+/// activations are matched to the fastest available VMs. A round-robin
+/// policy is provided as the ablation baseline.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/vm.hpp"
+
+namespace scidock::wf {
+
+/// A schedulable activation as the policy sees it.
+struct PendingActivation {
+  long long id = 0;            ///< executor-internal handle
+  std::string activity_tag;
+  double expected_cost_s = 1.0;  ///< on the reference core
+  int attempts = 0;            ///< prior failed attempts (re-executions)
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Choose which queued activation the given VM slot should run next.
+  /// Returns an index into `queue` (never empty when called).
+  virtual std::size_t pick(const std::vector<PendingActivation>& queue,
+                           const cloud::VmInstance& vm) = 0;
+};
+
+/// SciCumulus' weighted-cost greedy policy: fast VMs (low slowdown) take
+/// the most expensive queued activation; slow VMs take the cheapest.
+/// Re-executions are prioritised so failures do not starve.
+class GreedyCostScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-cost"; }
+  std::size_t pick(const std::vector<PendingActivation>& queue,
+                   const cloud::VmInstance& vm) override;
+
+  /// A VM whose slowdown() is below this is considered "fast".
+  double fast_vm_threshold = 1.0;
+};
+
+/// FIFO baseline (what Hadoop-style engines effectively do for SciDock).
+class FifoScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "fifo"; }
+  std::size_t pick(const std::vector<PendingActivation>& queue,
+                   const cloud::VmInstance& vm) override;
+};
+
+std::unique_ptr<Scheduler> make_scheduler(std::string_view policy_name);
+
+}  // namespace scidock::wf

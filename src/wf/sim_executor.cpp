@@ -1,0 +1,356 @@
+#include "wf/sim_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace scidock::wf {
+
+double SimReport::mean_activation_seconds() const {
+  RunningStats all;
+  for (const auto& [tag, stats] : per_activity_seconds) all.merge(stats);
+  return all.mean();
+}
+
+std::vector<cloud::VmType> m3_fleet_for_cores(int virtual_cores) {
+  SCIDOCK_REQUIRE(virtual_cores >= 1, "need at least one core");
+  std::vector<cloud::VmType> fleet;
+  int remaining = virtual_cores;
+  while (remaining >= 8) {
+    fleet.push_back(cloud::vm_type_m3_2xlarge());
+    remaining -= 8;
+  }
+  while (remaining >= 4) {
+    fleet.push_back(cloud::vm_type_m3_xlarge());
+    remaining -= 4;
+  }
+  if (remaining > 0) {
+    // Round up with the small instance; the simulator caps usable slots
+    // at the type's core count, so a 2-core request gets a 4-core VM with
+    // two slots masked.
+    cloud::VmType t = cloud::vm_type_m3_xlarge();
+    t.cores = remaining;
+    t.name += "(partial)";
+    fleet.push_back(t);
+  }
+  return fleet;
+}
+
+SimulatedExecutor::SimulatedExecutor(const Pipeline& pipeline,
+                                     cloud::CostModel cost_model,
+                                     SimExecutorOptions options)
+    : pipeline_(pipeline), cost_model_(std::move(cost_model)),
+      options_(std::move(options)) {
+  SCIDOCK_REQUIRE(!options_.fleet.empty(), "simulated fleet is empty");
+  for (const Stage& st : pipeline.stages()) {
+    SCIDOCK_REQUIRE(cost_model_.has(st.tag),
+                    "cost model has no entry for stage '" + st.tag + "'");
+  }
+}
+
+SimReport SimulatedExecutor::run(const Relation& input,
+                                 prov::ProvenanceStore* prov,
+                                 const std::string& workflow_tag) {
+  cloud::Simulation sim;
+  Rng rng(options_.seed);
+  Rng failure_rng = rng.fork("failures");
+  Rng duration_rng = rng.fork("durations");
+  cloud::VirtualCluster cluster(sim, rng.fork("cluster"));
+  const cloud::FailureModel failure_model(options_.failure);
+  const auto scheduler = make_scheduler(options_.scheduler_policy);
+
+  SimReport report;
+
+  // ---- provenance bootstrap ----
+  long long wkfid = 0;
+  std::map<std::string, long long> actids;
+  if (prov != nullptr) {
+    wkfid = prov->begin_workflow(workflow_tag, "simulated execution",
+                                 "/root/exp_" + workflow_tag + "/", 0.0);
+    for (const Stage& st : pipeline_.stages()) {
+      actids[st.tag] = prov->register_activity(
+          wkfid, st.tag, "./experiment.cmd", std::string(to_string(st.op)));
+    }
+  }
+
+  // ---- tuple state ----
+  struct TupleState {
+    std::vector<std::string> chain;
+    std::size_t stage = 0;
+    int attempts_at_stage = 0;
+    bool lost = false;
+  };
+  std::vector<TupleState> tuples;
+  tuples.reserve(input.size());
+  for (const Tuple& t : input.tuples()) {
+    tuples.push_back(TupleState{pipeline_.chain_for(t), 0, 0, false});
+  }
+
+  // ---- scheduling state ----
+  std::vector<PendingActivation> queue;
+  std::map<long long, std::size_t> act_to_tuple;
+  long long next_act_id = 1;
+  std::map<long long, int> free_slots;  ///< usable (booted) VM -> free cores
+  long long busy = 0;                   ///< in-flight activations
+  long long completed_tuples = 0;
+
+  auto tuple_of = [&input](std::size_t idx) -> const Tuple& {
+    return input.tuples()[idx];
+  };
+
+  auto stage_for = [&](std::size_t tuple_idx) -> const Stage& {
+    const TupleState& ts = tuples[tuple_idx];
+    return pipeline_.stage(ts.chain[ts.stage]);
+  };
+
+  auto enqueue = [&](std::size_t tuple_idx) {
+    const TupleState& ts = tuples[tuple_idx];
+    const Stage& st = stage_for(tuple_idx);
+    const double scale =
+        st.workload_scale ? st.workload_scale(tuple_of(tuple_idx)) : 1.0;
+    PendingActivation pa;
+    pa.id = next_act_id++;
+    pa.activity_tag = st.tag;
+    pa.expected_cost_s = cost_model_.expected(st.tag, scale, 1.0);
+    pa.attempts = ts.attempts_at_stage;
+    act_to_tuple[pa.id] = tuple_idx;
+    queue.push_back(std::move(pa));
+  };
+
+  for (std::size_t i = 0; i < tuples.size(); ++i) enqueue(i);
+
+  // Forward declaration dance: dispatch is invoked from event handlers.
+  std::function<void()> dispatch;
+  // The engine's central scheduler is serial: each dispatch decision
+  // occupies it for the planning overhead, and a slot whose decision is
+  // queued behind others stays idle meanwhile (paper SS V.C).
+  double scheduler_free_at = 0.0;
+
+  auto io_bytes_for = [&](const std::string& tag) -> std::size_t {
+    const auto it = options_.io_bytes.find(tag);
+    return it == options_.io_bytes.end() ? options_.default_io_bytes : it->second;
+  };
+
+  auto on_complete = [&](long long act_id, long long vm_id,
+                         cloud::ActivationOutcome outcome, double started,
+                         bool no_retry) {
+    const std::size_t tuple_idx = act_to_tuple.at(act_id);
+    act_to_tuple.erase(act_id);
+    TupleState& ts = tuples[tuple_idx];
+    const std::string tag = ts.chain[ts.stage];
+    --busy;
+    ++free_slots[vm_id];
+
+    const double duration = sim.now() - started;
+    std::string status;
+    switch (outcome) {
+      case cloud::ActivationOutcome::Success: {
+        status = std::string(prov::kStatusFinished);
+        ++report.activations_finished;
+        report.per_activity_seconds[tag].add(duration);
+        ts.attempts_at_stage = 0;
+        ++ts.stage;
+        if (ts.stage >= ts.chain.size()) {
+          ++completed_tuples;
+          ++report.tuples_completed;
+        } else {
+          enqueue(tuple_idx);
+        }
+        break;
+      }
+      case cloud::ActivationOutcome::Failure:
+      case cloud::ActivationOutcome::Hang: {
+        const bool hang = outcome == cloud::ActivationOutcome::Hang;
+        status = hang ? std::string(prov::kStatusAborted)
+                      : std::string(prov::kStatusFailed);
+        if (hang) ++report.activations_hung;
+        else ++report.activations_failed;
+        ++ts.attempts_at_stage;
+        const bool retry = !no_retry && options_.reexecute_failures &&
+                           ts.attempts_at_stage < options_.failure.max_attempts;
+        if (retry) {
+          enqueue(tuple_idx);
+        } else {
+          ts.lost = true;
+          ++completed_tuples;
+          ++report.tuples_lost;
+        }
+        break;
+      }
+    }
+    if (prov != nullptr) {
+      const long long taskid = prov->begin_activation(
+          actids[tag], wkfid, started, vm_id,
+          tuple_of(tuple_idx).get("pair").value_or(""));
+      prov->end_activation(taskid, sim.now(), status,
+                           status == prov::kStatusFinished ? 0 : 1,
+                           ts.attempts_at_stage + 1);
+    }
+    if (report.records.size() < 500000) {
+      report.records.push_back(SimActivationRecord{
+          tag, tuple_idx, started, sim.now(), vm_id, ts.attempts_at_stage + 1,
+          status});
+    }
+    dispatch();
+  };
+
+  dispatch = [&]() {
+    for (;;) {
+      if (queue.empty()) return;
+      // Fastest usable VM with a free slot takes work first (the greedy
+      // policy's "powerful VMs get the long activations").
+      long long best_vm = -1;
+      double best_slowdown = 0.0;
+      for (const auto& [vm_id, slots] : free_slots) {
+        if (slots <= 0) continue;
+        const double sd = cluster.instance(vm_id).slowdown();
+        if (best_vm < 0 || sd < best_slowdown) {
+          best_vm = vm_id;
+          best_slowdown = sd;
+        }
+      }
+      if (best_vm < 0) return;  // everything busy
+
+      const cloud::VmInstance& vm = cluster.instance(best_vm);
+      const std::size_t pick = scheduler->pick(queue, vm);
+      const PendingActivation pa = std::move(queue[pick]);
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+
+      const std::size_t tuple_idx = act_to_tuple.at(pa.id);
+      const Stage& st = pipeline_.stage(pa.activity_tag);
+      const Tuple& tup = tuple_of(tuple_idx);
+
+      double overhead = 0.0;
+      if (options_.charge_scheduler_overhead) {
+        const double planning = cost_model_.scheduling_overhead(
+            queue.size() + 1, static_cast<std::size_t>(cluster.alive_count()));
+        const double start_planning = std::max(sim.now(), scheduler_free_at);
+        scheduler_free_at = start_planning + planning;
+        // The slot idles from now until the serial scheduler finishes its
+        // plan for this activation.
+        overhead = scheduler_free_at - sim.now();
+        report.scheduling_overhead_s += overhead;
+      }
+      double staging = 0.0;
+      if (options_.charge_data_staging) {
+        const std::size_t bytes = io_bytes_for(pa.activity_tag);
+        staging = options_.fs_latency.read_cost(bytes) +
+                  options_.fs_latency.write_cost(bytes);
+        report.data_staging_s += staging;
+      }
+
+      const double scale = st.workload_scale ? st.workload_scale(tup) : 1.0;
+      const double service =
+          cost_model_.sample(pa.activity_tag, scale, vm.slowdown(), duration_rng);
+
+      const bool hazard = st.hazard && st.hazard(tup);
+      const bool preabort = hazard && options_.preabort_hazards;
+      const cloud::ActivationOutcome outcome =
+          failure_model.sample(failure_rng, hazard);
+
+      double busy_time = overhead + staging;
+      if (preabort) {
+        // Hazard recognised up-front: the activation is aborted before it
+        // can enter the looping state; no service time is burned and the
+        // tuple is not retried (its input will always hang).
+        --free_slots[best_vm];
+        ++busy;
+        const double started = sim.now();
+        const long long act_id = pa.id;
+        const long long vm_id = best_vm;
+        sim.schedule_after(overhead, [&, act_id, vm_id, started] {
+          on_complete(act_id, vm_id, cloud::ActivationOutcome::Hang, started,
+                      /*no_retry=*/true);
+        });
+        continue;
+      }
+      switch (outcome) {
+        case cloud::ActivationOutcome::Success:
+          busy_time += service;
+          break;
+        case cloud::ActivationOutcome::Failure:
+          // Crashes surface partway through the run.
+          busy_time += service * failure_rng.uniform(0.2, 1.0);
+          break;
+        case cloud::ActivationOutcome::Hang:
+          // Looping state: the slot is stuck until the watchdog aborts it.
+          busy_time += options_.failure.hang_timeout_s;
+          break;
+      }
+
+      --free_slots[best_vm];
+      ++busy;
+      const double started = sim.now();
+      const long long act_id = pa.id;
+      const long long vm_id = best_vm;
+      sim.schedule_after(busy_time, [&, act_id, vm_id, outcome, started] {
+        on_complete(act_id, vm_id, outcome, started, /*no_retry=*/false);
+      });
+    }
+  };
+
+  // ---- boot the initial fleet ----
+  for (const cloud::VmType& type : options_.fleet) {
+    const long long id = cluster.acquire(type);
+    const cloud::VmInstance& vm = cluster.instance(id);
+    const int cores = type.cores;
+    sim.schedule_at(vm.boot_completed_at, [&, id, cores] {
+      free_slots[id] = cores;
+      dispatch();
+    });
+    if (prov != nullptr) {
+      prov->record_machine(id, type.name, type.cores, vm.slowdown());
+    }
+  }
+
+  // ---- elasticity controller ----
+  std::function<void()> controller;
+  controller = [&] {
+    if (completed_tuples >= static_cast<long long>(tuples.size())) return;
+    const int alive = cluster.alive_count();
+    const int cores_per_vm = std::max(1, options_.elastic_vm_type.cores);
+    const int target = std::clamp(
+        static_cast<int>(queue.size()) / (4 * cores_per_vm) + options_.min_vms,
+        options_.min_vms, options_.max_vms);
+    if (alive < target) {
+      const long long id = cluster.acquire(options_.elastic_vm_type);
+      const cloud::VmInstance& vm = cluster.instance(id);
+      const int cores = options_.elastic_vm_type.cores;
+      sim.schedule_at(vm.boot_completed_at, [&, id, cores] {
+        free_slots[id] = cores;
+        dispatch();
+      });
+    } else if (alive > target) {
+      // Release one fully idle VM per tick (graceful scale-down).
+      for (auto it = free_slots.begin(); it != free_slots.end(); ++it) {
+        const cloud::VmInstance& vm = cluster.instance(it->first);
+        if (vm.alive() && it->second == vm.type.cores && alive > options_.min_vms) {
+          cluster.release(it->first);
+          free_slots.erase(it);
+          break;
+        }
+      }
+    }
+    sim.schedule_after(options_.elasticity_period_s, controller);
+  };
+  if (options_.elasticity) {
+    SCIDOCK_REQUIRE(options_.elastic_vm_type.cores > 0,
+                    "elasticity requires elastic_vm_type");
+    sim.schedule_after(options_.elasticity_period_s, controller);
+  }
+
+  sim.run();
+
+  SCIDOCK_ASSERT_MSG(busy == 0 && queue.empty(),
+                     "simulation drained with work outstanding");
+  report.total_execution_time_s = sim.now();
+  report.cloud_cost_usd = cluster.accumulated_cost_usd();
+  report.peak_alive_vms = static_cast<int>(cluster.instances().size());
+  report.total_cores = cluster.total_cores();
+  if (prov != nullptr) prov->end_workflow(wkfid, sim.now());
+  return report;
+}
+
+}  // namespace scidock::wf

@@ -1,0 +1,85 @@
+#include "wf/spec.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "xml/xml.hpp"
+
+namespace scidock::wf {
+
+WorkflowDef load_spec(std::string_view xml_text) {
+  const xml::Document doc = xml::parse(xml_text);
+  SCIDOCK_REQUIRE(doc.root != nullptr, "empty XML document");
+  SCIDOCK_REQUIRE(doc.root->name() == "SciCumulus",
+                  "root element must be <SciCumulus>");
+
+  WorkflowDef wf;
+  if (const xml::Element* db = doc.root->child("database")) {
+    if (auto v = db->attribute("name")) wf.database.name = *v;
+    if (auto v = db->attribute("server")) wf.database.server = *v;
+    if (auto v = db->attribute("port")) {
+      wf.database.port = static_cast<int>(parse_int(*v, "database port"));
+    }
+  }
+
+  const xml::Element* wf_el = doc.root->child("SciCumulusWorkflow");
+  SCIDOCK_REQUIRE(wf_el != nullptr, "missing <SciCumulusWorkflow>");
+  wf.tag = wf_el->require_attribute("tag");
+  if (auto v = wf_el->attribute("description")) wf.description = *v;
+  if (auto v = wf_el->attribute("exectag")) wf.exec_tag = *v;
+  if (auto v = wf_el->attribute("expdir")) wf.expdir = *v;
+
+  for (const xml::Element* act_el : wf_el->children_named("SciCumulusActivity")) {
+    ActivityDef act;
+    act.tag = act_el->require_attribute("tag");
+    if (auto v = act_el->attribute("type")) act.op = algebraic_op_from(*v);
+    if (auto v = act_el->attribute("templatedir")) act.template_dir = *v;
+    if (auto v = act_el->attribute("activation")) act.activation_command = *v;
+    for (const xml::Element* rel_el : act_el->children_named("Relation")) {
+      RelationDef rel;
+      rel.name = rel_el->require_attribute("name");
+      if (auto v = rel_el->attribute("filename")) rel.filename = *v;
+      const std::string reltype = rel_el->require_attribute("reltype");
+      if (iequals(reltype, "Input")) rel.is_input = true;
+      else if (iequals(reltype, "Output")) rel.is_input = false;
+      else throw InvalidStateError("unknown reltype '" + reltype + "'");
+      act.relations.push_back(std::move(rel));
+    }
+    SCIDOCK_REQUIRE(!wf.has_activity(act.tag),
+                    "duplicate activity tag '" + act.tag + "'");
+    wf.activities.push_back(std::move(act));
+  }
+  SCIDOCK_REQUIRE(!wf.activities.empty(), "workflow has no activities");
+  return wf;
+}
+
+std::string save_spec(const WorkflowDef& wf) {
+  xml::Document doc;
+  doc.root = std::make_unique<xml::Element>("SciCumulus");
+  xml::Element& db = doc.root->add_child("database");
+  db.set_attribute("name", wf.database.name);
+  db.set_attribute("server", wf.database.server);
+  db.set_attribute("port", std::to_string(wf.database.port));
+
+  xml::Element& wf_el = doc.root->add_child("SciCumulusWorkflow");
+  wf_el.set_attribute("tag", wf.tag);
+  wf_el.set_attribute("description", wf.description);
+  wf_el.set_attribute("exectag", wf.exec_tag);
+  wf_el.set_attribute("expdir", wf.expdir);
+
+  for (const ActivityDef& act : wf.activities) {
+    xml::Element& act_el = wf_el.add_child("SciCumulusActivity");
+    act_el.set_attribute("tag", act.tag);
+    act_el.set_attribute("type", std::string(to_string(act.op)));
+    act_el.set_attribute("templatedir", act.template_dir);
+    act_el.set_attribute("activation", act.activation_command);
+    for (const RelationDef& rel : act.relations) {
+      xml::Element& rel_el = act_el.add_child("Relation");
+      rel_el.set_attribute("reltype", rel.is_input ? "Input" : "Output");
+      rel_el.set_attribute("name", rel.name);
+      rel_el.set_attribute("filename", rel.filename);
+    }
+  }
+  return doc.to_string();
+}
+
+}  // namespace scidock::wf

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file spec.hpp
+/// XML (de)serialisation of workflow definitions in the SciCumulus format
+/// shown in the paper's Figure 2:
+///
+///   <SciCumulus>
+///     <database name="scicumulus" server="..." port="5432"/>
+///     <SciCumulusWorkflow tag="SciDock" description="Docking"
+///                         exectag="scidock" expdir="/root/scidock/">
+///       <SciCumulusActivity tag="babel" type="MAP"
+///                           templatedir="/root/scidock/template_babel/"
+///                           activation="./experiment.cmd">
+///         <Relation reltype="Input" name="rel_in_1" filename="input_1.txt"/>
+///         <Relation reltype="Output" name="rel_out1" filename="output_1.txt"/>
+///         <File filename="experiment.cmd" instrumented="true"/>
+///       </SciCumulusActivity>
+///     </SciCumulusWorkflow>
+///   </SciCumulus>
+
+#include <string>
+#include <string_view>
+
+#include "wf/workflow.hpp"
+
+namespace scidock::wf {
+
+/// Parse a SciCumulus XML specification; throws ParseError on malformed
+/// documents and InvalidStateError on semantically invalid ones.
+WorkflowDef load_spec(std::string_view xml_text);
+
+/// Serialise back to the Figure 2 XML format (round-trips with load_spec).
+std::string save_spec(const WorkflowDef& wf);
+
+}  // namespace scidock::wf

@@ -1,0 +1,57 @@
+#include "wf/template.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace scidock::wf {
+
+namespace {
+
+/// Scan for %TAG% spans; `fn(tag)` returns the replacement text.
+template <typename F>
+std::string scan(std::string_view text, F&& fn) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '%') {
+      out += text[i++];
+      continue;
+    }
+    if (i + 1 < text.size() && text[i + 1] == '%') {  // escaped percent
+      out += '%';
+      i += 2;
+      continue;
+    }
+    const std::size_t end = text.find('%', i + 1);
+    if (end == std::string_view::npos) {
+      throw ParseError("template", "unterminated %TAG% placeholder");
+    }
+    const std::string tag(text.substr(i + 1, end - i - 1));
+    if (tag.empty()) throw ParseError("template", "empty %% placeholder");
+    out += fn(tag);
+    i = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> template_tags(std::string_view template_text) {
+  std::vector<std::string> tags;
+  scan(template_text, [&tags](const std::string& tag) {
+    if (std::find(tags.begin(), tags.end(), tag) == tags.end()) {
+      tags.push_back(tag);
+    }
+    return std::string{};
+  });
+  return tags;
+}
+
+std::string instantiate_template(std::string_view template_text,
+                                 const Tuple& tuple) {
+  return scan(template_text,
+              [&tuple](const std::string& tag) { return tuple.require(tag); });
+}
+
+}  // namespace scidock::wf

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file template.hpp
+/// Template instrumentation (paper §IV.B): activity command templates
+/// carry %TAG% placeholders that SciCumulus replaces with tuple field
+/// values at activation time; the substituted command plus its parameters
+/// land in the provenance repository.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wf/relation.hpp"
+
+namespace scidock::wf {
+
+/// Placeholder names appearing in the template, in order of appearance
+/// (duplicates included once).
+std::vector<std::string> template_tags(std::string_view template_text);
+
+/// Replace each %TAG% with the tuple field of the same (case-sensitive)
+/// name. Throws NotFoundError if the tuple lacks a referenced field.
+/// "%%" escapes a literal percent sign.
+std::string instantiate_template(std::string_view template_text,
+                                 const Tuple& tuple);
+
+}  // namespace scidock::wf

@@ -1,0 +1,99 @@
+#include "wf/workflow.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::wf {
+
+std::string_view to_string(AlgebraicOp op) {
+  switch (op) {
+    case AlgebraicOp::Map: return "MAP";
+    case AlgebraicOp::SplitMap: return "SPLIT_MAP";
+    case AlgebraicOp::Filter: return "FILTER";
+    case AlgebraicOp::Reduce: return "REDUCE";
+    case AlgebraicOp::SRQuery: return "SR_QUERY";
+  }
+  return "?";
+}
+
+AlgebraicOp algebraic_op_from(std::string_view name) {
+  if (iequals(name, "MAP")) return AlgebraicOp::Map;
+  if (iequals(name, "SPLIT_MAP")) return AlgebraicOp::SplitMap;
+  if (iequals(name, "FILTER")) return AlgebraicOp::Filter;
+  if (iequals(name, "REDUCE")) return AlgebraicOp::Reduce;
+  if (iequals(name, "SR_QUERY")) return AlgebraicOp::SRQuery;
+  throw NotFoundError("algebraic operator", name);
+}
+
+const RelationDef* ActivityDef::input_relation() const {
+  for (const RelationDef& r : relations) {
+    if (r.is_input) return &r;
+  }
+  return nullptr;
+}
+
+const RelationDef* ActivityDef::output_relation() const {
+  for (const RelationDef& r : relations) {
+    if (!r.is_input) return &r;
+  }
+  return nullptr;
+}
+
+const ActivityDef& WorkflowDef::activity(std::string_view activity_tag) const {
+  for (const ActivityDef& a : activities) {
+    if (a.tag == activity_tag) return a;
+  }
+  throw NotFoundError("activity", activity_tag);
+}
+
+bool WorkflowDef::has_activity(std::string_view activity_tag) const {
+  for (const ActivityDef& a : activities) {
+    if (a.tag == activity_tag) return true;
+  }
+  return false;
+}
+
+int WorkflowDef::producer_of(std::string_view relation_name) const {
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    for (const RelationDef& r : activities[i].relations) {
+      if (!r.is_input && r.name == relation_name) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> WorkflowDef::topological_order() const {
+  const int n = static_cast<int>(activities.size());
+  std::vector<std::vector<int>> consumers(static_cast<std::size_t>(n));
+  std::vector<int> in_degree(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (const RelationDef& r : activities[static_cast<std::size_t>(i)].relations) {
+      if (!r.is_input) continue;
+      const int producer = producer_of(r.name);
+      if (producer >= 0 && producer != i) {
+        consumers[static_cast<std::size_t>(producer)].push_back(i);
+        ++in_degree[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  std::deque<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (in_degree[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  }
+  std::vector<int> order;
+  while (!ready.empty()) {
+    const int u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (int v : consumers[static_cast<std::size_t>(u)]) {
+      if (--in_degree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+  SCIDOCK_REQUIRE(static_cast<int>(order.size()) == n,
+                  "workflow relation wiring contains a cycle");
+  return order;
+}
+
+}  // namespace scidock::wf

@@ -1,0 +1,293 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::xml {
+
+std::optional<std::string> Element::attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+const std::string& Element::require_attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  throw NotFoundError("XML attribute", std::string(name_) + "/@" + std::string(key));
+}
+
+void Element::set_attribute(std::string key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+void Element::adopt_child(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::to_string(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [k, v] : attributes_) {
+    out += " " + k + "=\"" + escape(v) + "\"";
+  }
+  if (children_.empty() && text_.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!text_.empty()) out += escape(text_);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) out += c->to_string(indent + 1);
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+std::string Document::to_string() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if (root) out += root->to_string();
+  return out;
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  std::size_t i = 0;
+  while (i < escaped.size()) {
+    if (escaped[i] != '&') {
+      out += escaped[i++];
+      continue;
+    }
+    const std::size_t semi = escaped.find(';', i);
+    if (semi == std::string_view::npos) {
+      throw ParseError("XML", "unterminated entity reference");
+    }
+    const std::string_view entity = escaped.substr(i + 1, semi - i - 1);
+    if (entity == "amp") out += '&';
+    else if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "quot") out += '"';
+    else if (entity == "apos") out += '\'';
+    else if (!entity.empty() && entity[0] == '#') {
+      long long code = 0;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::stoll(std::string(entity.substr(2)), nullptr, 16);
+      } else {
+        code = parse_int(entity.substr(1), "XML char ref");
+      }
+      if (code < 0 || code > 0x10FFFF) throw ParseError("XML", "bad char ref");
+      // ASCII only: the workflow specs never need more.
+      if (code < 128) out += static_cast<char>(code);
+      else throw ParseError("XML", "non-ASCII char ref unsupported");
+    } else {
+      throw ParseError("XML", "unknown entity &" + std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Document parse_document() {
+    skip_prolog();
+    Document doc;
+    doc.root = parse_element();
+    skip_ws_and_comments();
+    if (pos_ != text_.size()) {
+      fail("trailing content after root element");
+    }
+    return doc;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    int line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw ParseError("XML", why + " (line " + std::to_string(line) + ")");
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return eof() ? '\0' : text_[pos_]; }
+  bool consume(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  void skip_comment() {
+    if (!consume("<!--")) return;
+    const std::size_t end = text_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      skip_ws();
+      if (text_.substr(pos_, 4) == "<!--") skip_comment();
+      else return;
+    }
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (consume("<?xml")) {
+      const std::size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_ws_and_comments();
+    // DOCTYPE (ignored, no internal subset support)
+    if (consume("<!DOCTYPE")) {
+      const std::size_t end = text_.find('>', pos_);
+      if (end == std::string_view::npos) fail("unterminated DOCTYPE");
+      pos_ = end + 1;
+      skip_ws_and_comments();
+    }
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == '.' || c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    if (!consume("<")) fail("expected '<'");
+    auto element = std::make_unique<Element>(parse_name());
+
+    // attributes
+    for (;;) {
+      skip_ws();
+      if (consume("/>")) return element;
+      if (consume(">")) break;
+      const std::string key = parse_name();
+      skip_ws();
+      if (!consume("=")) fail("expected '=' after attribute name");
+      skip_ws();
+      const char quote = peek();
+      if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+      ++pos_;
+      const std::size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) fail("unterminated attribute value");
+      element->set_attribute(key, unescape(text_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+
+    // content
+    std::string text;
+    for (;;) {
+      if (eof()) fail("unterminated element <" + element->name() + ">");
+      if (text_.substr(pos_, 4) == "<!--") {
+        skip_comment();
+        continue;
+      }
+      if (consume("<![CDATA[")) {
+        const std::size_t end = text_.find("]]>", pos_);
+        if (end == std::string_view::npos) fail("unterminated CDATA");
+        text += std::string(text_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != element->name()) {
+          fail("mismatched </" + closing + ">, expected </" + element->name() + ">");
+        }
+        skip_ws();
+        if (!consume(">")) fail("expected '>' in closing tag");
+        element->set_text(std::string(trim(text)));
+        return element;
+      }
+      if (peek() == '<') {
+        element->adopt_child(parse_element());
+        continue;
+      }
+      const std::size_t next = text_.find('<', pos_);
+      if (next == std::string_view::npos) fail("unterminated element content");
+      text += unescape(text_.substr(pos_, next - pos_));
+      pos_ = next;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Document parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace scidock::xml

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file xml.hpp
+/// Minimal DOM XML parser/serializer — enough for SciCumulus workflow
+/// specifications (Figure 2 of the paper): elements, attributes, text,
+/// comments, CDATA and the XML declaration. No namespaces or DTDs.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scidock::xml {
+
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // ---- attributes ----
+  std::optional<std::string> attribute(std::string_view key) const;
+  /// Attribute value or throws NotFoundError.
+  const std::string& require_attribute(std::string_view key) const;
+  void set_attribute(std::string key, std::string value);
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  // ---- children ----
+  Element& add_child(std::string name);
+  /// Append an already-built subtree.
+  void adopt_child(std::unique_ptr<Element> child);
+  const std::vector<std::unique_ptr<Element>>& children() const { return children_; }
+  /// First child with the given element name, or nullptr.
+  const Element* child(std::string_view name) const;
+  /// All children with the given element name.
+  std::vector<const Element*> children_named(std::string_view name) const;
+
+  // ---- text content ----
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  /// Serialise this element (and subtree) as indented XML.
+  std::string to_string(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+  std::string text_;
+};
+
+struct Document {
+  std::unique_ptr<Element> root;
+
+  std::string to_string() const;
+};
+
+/// Parse an XML document; throws ParseError with line context on error.
+Document parse(std::string_view text);
+
+/// Escape &<>"' for attribute/text emission.
+std::string escape(std::string_view raw);
+/// Expand the five predefined entities plus decimal/hex character refs.
+std::string unescape(std::string_view escaped);
+
+}  // namespace scidock::xml

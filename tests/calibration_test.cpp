@@ -1,0 +1,91 @@
+// Calibration regression tests: the cloud cost model is tuned so the
+// simulated experiments land on the paper's headline numbers; these
+// tests pin that calibration so refactors cannot silently drift it.
+
+#include <gtest/gtest.h>
+
+#include "cloud/cost_model.hpp"
+#include "data/table2.hpp"
+#include "scidock/experiment.hpp"
+
+namespace scidock {
+namespace {
+
+TEST(Calibration, Ad4TwoCoreTetMatchesPaperBallpark) {
+  // Paper: 10,000 pairs in 12.5 days on 2 cores => ~216 s of chain per
+  // pair. Allow +-20% (failures and staging ride on top of chain means).
+  core::ScidockOptions options;
+  options.engine_mode = core::EngineMode::ForceAd4;
+  auto exp = core::make_experiment(data::table2_receptors(),
+                                   data::table2_ligands(), 2000, options);
+  const wf::SimReport r = core::run_simulated(exp, 2);
+  const double serial_per_pair = r.total_execution_time_s * 2.0 / 2000.0;
+  EXPECT_GT(serial_per_pair, 216.0 * 0.8);
+  EXPECT_LT(serial_per_pair, 216.0 * 1.25);
+}
+
+TEST(Calibration, VinaWorkflowIsFasterThanAd4) {
+  // Paper: 9 days vs 12.5 days on 2 cores => Vina chain ~0.72x of AD4's.
+  core::ScidockOptions ad4_opts;
+  ad4_opts.engine_mode = core::EngineMode::ForceAd4;
+  auto ad4_exp = core::make_experiment(data::table2_receptors(),
+                                       data::table2_ligands(), 1000, ad4_opts);
+  core::ScidockOptions vina_opts;
+  vina_opts.engine_mode = core::EngineMode::ForceVina;
+  auto vina_exp = core::make_experiment(data::table2_receptors(),
+                                        data::table2_ligands(), 1000, vina_opts);
+  const double ad4 =
+      core::run_simulated(ad4_exp, 4).total_execution_time_s;
+  const double vina =
+      core::run_simulated(vina_exp, 4).total_execution_time_s;
+  EXPECT_LT(vina, ad4);
+  EXPECT_NEAR(vina / ad4, 9.0 / 12.5, 0.12);
+}
+
+TEST(Calibration, ImprovementAt32CoresNearPaperHeadline) {
+  // Paper Section VI: 95.4% (AD4) improvement at 32 cores vs one core.
+  core::ScidockOptions options;
+  options.engine_mode = core::EngineMode::ForceAd4;
+  auto exp = core::make_experiment(data::table2_receptors(),
+                                   data::table2_ligands(), 2000, options);
+  const double tet2 = core::run_simulated(exp, 2).total_execution_time_s;
+  const double tet32 = core::run_simulated(exp, 32).total_execution_time_s;
+  const double improvement = 100.0 * (1.0 - tet32 / (2.0 * tet2));
+  EXPECT_GT(improvement, 92.0);
+  EXPECT_LT(improvement, 98.5);
+}
+
+TEST(Calibration, EfficiencyDegradesPast32Cores) {
+  // Paper Figure 9: efficiency visibly decreases from 32 to 128 cores.
+  core::ScidockOptions options;
+  auto exp = core::make_experiment(data::table2_receptors(),
+                                   data::table2_ligands(), 3000, options);
+  const double tet32 = core::run_simulated(exp, 32).total_execution_time_s;
+  const double tet128 = core::run_simulated(exp, 128).total_execution_time_s;
+  const double eff_ratio = (tet32 * 32.0) / (tet128 * 128.0);
+  EXPECT_LT(tet128, tet32);        // still a gain from more cores
+  EXPECT_LT(eff_ratio, 0.9);       // but efficiency clearly degraded
+}
+
+TEST(Calibration, FailureRateNearTenPercent) {
+  // "Each execution of SciDock contains about 10% of activity execution
+  // failures" (Section IV.B).
+  core::ScidockOptions options;
+  auto exp = core::make_experiment(data::table2_receptors(),
+                                   data::table2_ligands(), 1000, options);
+  const wf::SimReport r = core::run_simulated(exp, 16);
+  const double rate =
+      static_cast<double>(r.activations_failed) /
+      static_cast<double>(r.activations_finished + r.activations_failed);
+  EXPECT_NEAR(rate, 0.10, 0.03);
+}
+
+TEST(Calibration, ReceptorPrepAveragesTenSeconds) {
+  // "The third activity (Receptor preparation) consumes approximately 10
+  // seconds" (Section V.C).
+  const cloud::CostModel model = cloud::CostModel::scidock_default();
+  EXPECT_NEAR(model.cost("prepreceptor").mean_s, 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace scidock

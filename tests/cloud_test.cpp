@@ -1,0 +1,256 @@
+// Tests for the cloud simulator: DES core, VM catalogue, virtual cluster,
+// cost model, failure injection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/cluster.hpp"
+#include "cloud/cost_model.hpp"
+#include "cloud/failure.hpp"
+#include "cloud/sim.hpp"
+#include "cloud/vm.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace scidock::cloud {
+namespace {
+
+// ----------------------------------------------------------------- DES
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(9.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(sim.run(), 9.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulation, TiesBreakFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, HandlersCanScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  EXPECT_DOUBLE_EQ(sim.run(), 9.0);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulation, RunUntilLeavesLaterEventsQueued) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, PastSchedulingRejected) {
+  Simulation sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), InvalidStateError);
+}
+
+// ------------------------------------------------------------ catalogue
+
+TEST(VmCatalogue, Table1Characteristics) {
+  // The paper's Table 1: m3.xlarge has 4 cores, m3.2xlarge 8, both on the
+  // Intel Xeon E5-2670.
+  EXPECT_EQ(vm_type_m3_xlarge().cores, 4);
+  EXPECT_EQ(vm_type_m3_2xlarge().cores, 8);
+  EXPECT_EQ(vm_type_m3_xlarge().physical_processor, "Intel Xeon E5-2670");
+  EXPECT_EQ(vm_type_m3_2xlarge().physical_processor, "Intel Xeon E5-2670");
+  EXPECT_GT(vm_type_m3_2xlarge().hourly_cost_usd,
+            vm_type_m3_xlarge().hourly_cost_usd);
+}
+
+TEST(VmCatalogue, LookupByName) {
+  EXPECT_EQ(vm_type_by_name("M3.XLARGE").cores, 4);
+  EXPECT_THROW(vm_type_by_name("z9.mega"), NotFoundError);
+  EXPECT_GE(vm_catalogue().size(), 3u);
+}
+
+// -------------------------------------------------------------- cluster
+
+TEST(Cluster, AcquireBootsAfterLatency) {
+  Simulation sim;
+  VirtualCluster cluster(sim, Rng(1));
+  const long long id = cluster.acquire(vm_type_m3_xlarge());
+  const VmInstance& vm = cluster.instance(id);
+  EXPECT_GT(vm.boot_completed_at, 0.0);
+  EXPECT_TRUE(vm.alive());
+  EXPECT_EQ(cluster.alive_count(), 1);
+  EXPECT_EQ(cluster.total_cores(), 4);
+}
+
+TEST(Cluster, ReleaseStopsBilling) {
+  Simulation sim;
+  VirtualCluster cluster(sim, Rng(1));
+  const long long id = cluster.acquire(vm_type_m3_xlarge());
+  sim.schedule_at(7200.0, [&] { cluster.release(id); });
+  sim.run();
+  EXPECT_EQ(cluster.alive_count(), 0);
+  EXPECT_EQ(cluster.total_cores(), 0);
+  // 2 started hours at $0.45.
+  EXPECT_NEAR(cluster.accumulated_cost_usd(), 0.9, 1e-9);
+  EXPECT_THROW(cluster.release(id), InvalidStateError);  // double release
+}
+
+TEST(Cluster, PerformanceJitterIsNearOne) {
+  Simulation sim;
+  VirtualCluster cluster(sim, Rng(5));
+  RunningStats jitter;
+  for (int i = 0; i < 64; ++i) {
+    const long long id = cluster.acquire(vm_type_m3_2xlarge());
+    jitter.add(cluster.instance(id).performance_jitter);
+  }
+  EXPECT_NEAR(jitter.mean(), 1.0, 0.05);
+  EXPECT_GT(jitter.stddev(), 0.01);  // heterogeneity exists
+  EXPECT_LT(jitter.stddev(), 0.25);
+}
+
+TEST(Cluster, UnknownInstanceThrows) {
+  Simulation sim;
+  VirtualCluster cluster(sim, Rng(1));
+  EXPECT_THROW(cluster.instance(42), NotFoundError);
+}
+
+// ------------------------------------------------------------ cost model
+
+TEST(CostModel, ScidockDefaultCoversAllStages) {
+  const CostModel model = CostModel::scidock_default();
+  for (const char* tag : {"babel", "prepligand", "prepreceptor", "gpfprep",
+                          "autogrid", "dockfilter", "dpfprep", "confprep",
+                          "autodock4", "autodockvina"}) {
+    EXPECT_TRUE(model.has(tag)) << tag;
+  }
+  EXPECT_FALSE(model.has("nope"));
+  EXPECT_THROW(model.cost("nope"), NotFoundError);
+}
+
+TEST(CostModel, DockingDominatesTheChain) {
+  // Figure 6: the docking activity is the most computing-intensive.
+  const CostModel model = CostModel::scidock_default();
+  const double dock = model.cost("autodock4").mean_s;
+  for (const char* tag : {"babel", "prepligand", "prepreceptor", "gpfprep",
+                          "autogrid", "dockfilter", "dpfprep"}) {
+    EXPECT_GT(dock, model.cost(tag).mean_s) << tag;
+  }
+}
+
+TEST(CostModel, ChainsMatchPaperHeadlines) {
+  // AD4 chain ~ 12.5 days on 2 cores over 10,000 pairs => ~216 s/pair;
+  // Vina chain ~ 9 days => ~155 s/pair. Allow a generous band: the
+  // simulation adds failures and staging on top.
+  const CostModel model = CostModel::scidock_default();
+  const double ad4 = model.chain_mean({"babel", "prepligand", "prepreceptor",
+                                       "gpfprep", "autogrid", "dockfilter",
+                                       "dpfprep", "autodock4"});
+  const double vina = model.chain_mean({"babel", "prepligand", "prepreceptor",
+                                        "gpfprep", "autogrid", "dockfilter",
+                                        "confprep", "autodockvina"});
+  EXPECT_NEAR(ad4, 216.0, 50.0);
+  EXPECT_NEAR(vina, 155.0, 40.0);
+  EXPECT_LT(vina, ad4);  // the Vina workflow is faster end to end
+}
+
+TEST(CostModel, SampleRespectsScalesAndFloor) {
+  const CostModel model = CostModel::scidock_default();
+  Rng rng(3);
+  RunningStats base, scaled, slow;
+  for (int i = 0; i < 4000; ++i) {
+    base.add(model.sample("autogrid", 1.0, 1.0, rng));
+    scaled.add(model.sample("autogrid", 2.0, 1.0, rng));
+    slow.add(model.sample("autogrid", 1.0, 3.0, rng));
+  }
+  EXPECT_NEAR(base.mean(), model.cost("autogrid").mean_s, 2.0);
+  EXPECT_NEAR(scaled.mean() / base.mean(), 2.0, 0.2);
+  EXPECT_NEAR(slow.mean() / base.mean(), 3.0, 0.3);
+  EXPECT_GE(base.min(), model.cost("autogrid").min_s);
+}
+
+TEST(CostModel, ExpectedIsDeterministic) {
+  const CostModel model = CostModel::scidock_default();
+  EXPECT_DOUBLE_EQ(model.expected("babel", 2.0, 0.5),
+                   model.cost("babel").mean_s);
+}
+
+TEST(CostModel, SchedulingOverheadGrowsWithScale) {
+  const CostModel model = CostModel::scidock_default();
+  const double small = model.scheduling_overhead(10, 1);
+  const double large = model.scheduling_overhead(10000, 16);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.0);
+}
+
+TEST(CostModel, SetCostOverrides) {
+  CostModel model = CostModel::scidock_default();
+  model.set_cost({"babel", 99.0, 0.1, 1.0});
+  EXPECT_DOUBLE_EQ(model.cost("babel").mean_s, 99.0);
+  model.set_cost({"newstage", 5.0, 0.1, 1.0});
+  EXPECT_TRUE(model.has("newstage"));
+}
+
+// --------------------------------------------------------------- failure
+
+TEST(FailureModel, RatesApproximatelyMatchConfiguration) {
+  FailureModelOptions opts;
+  opts.failure_probability = 0.10;
+  opts.hang_probability = 0.01;
+  const FailureModel model(opts);
+  Rng rng(11);
+  int failures = 0, hangs = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    switch (model.sample(rng)) {
+      case ActivationOutcome::Failure: ++failures; break;
+      case ActivationOutcome::Hang: ++hangs; break;
+      default: break;
+    }
+  }
+  EXPECT_NEAR(failures / double(n), 0.10, 0.005);  // the paper's ~10 %
+  EXPECT_NEAR(hangs / double(n), 0.01, 0.002);
+}
+
+TEST(FailureModel, DeterministicHangAlwaysHangs) {
+  const FailureModel model{FailureModelOptions{}};
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(rng, /*deterministic_hang=*/true),
+              ActivationOutcome::Hang);
+  }
+}
+
+TEST(FailureModel, ZeroRatesAlwaysSucceed) {
+  FailureModelOptions opts;
+  opts.failure_probability = 0.0;
+  opts.hang_probability = 0.0;
+  const FailureModel model(opts);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.sample(rng), ActivationOutcome::Success);
+  }
+}
+
+}  // namespace
+}  // namespace scidock::cloud

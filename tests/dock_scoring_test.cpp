@@ -1,0 +1,336 @@
+// Unit tests for the docking substrate: grid boxes/maps, scoring terms,
+// neighbour lists, parameter files.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dock/autogrid.hpp"
+#include "dock/dpf.hpp"
+#include "dock/grid.hpp"
+#include "dock/scoring.hpp"
+#include "mol/molecule.hpp"
+#include "util/error.hpp"
+
+namespace scidock::dock {
+namespace {
+
+using mol::AdType;
+using mol::Element;
+using mol::Vec3;
+
+// ---------------------------------------------------------------- grid
+
+TEST(GridBox, GeometryInvariants) {
+  GridBox box;
+  box.center = {10, 20, 30};
+  box.npts = {41, 41, 21};
+  box.spacing = 0.5;
+  const Vec3 ext = box.extent();
+  EXPECT_DOUBLE_EQ(ext.x, 20.0);
+  EXPECT_DOUBLE_EQ(ext.z, 10.0);
+  EXPECT_TRUE(box.contains(box.center));
+  EXPECT_TRUE(box.contains(box.origin()));
+  EXPECT_FALSE(box.contains(box.center + Vec3{11, 0, 0}));
+  EXPECT_EQ(box.total_points(), 41u * 41u * 21u);
+  const mol::Aabb b = box.bounds();
+  EXPECT_NEAR(b.center().x, box.center.x, 1e-12);
+}
+
+TEST(GridBox, AroundCoversRequestedExtent) {
+  const GridBox box = GridBox::around({0, 0, 0}, 8.0, 0.5);
+  EXPECT_TRUE(box.contains({7.9, 0, 0}));
+  EXPECT_TRUE(box.contains({0, -7.9, 0}));
+}
+
+TEST(GridMap, IndexingAndSampling) {
+  GridBox box;
+  box.center = {0, 0, 0};
+  box.npts = {3, 3, 3};
+  box.spacing = 1.0;
+  GridMap map(box, "C");
+  // Linear field f = x so trilinear interpolation is exact.
+  for (int iz = 0; iz < 3; ++iz)
+    for (int iy = 0; iy < 3; ++iy)
+      for (int ix = 0; ix < 3; ++ix) {
+        map.at(ix, iy, iz) = box.origin().x + ix * box.spacing;
+      }
+  EXPECT_DOUBLE_EQ(map.sample({0.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(map.sample({0.25, 0.3, -0.4}), 0.25);
+  EXPECT_DOUBLE_EQ(map.sample({-0.75, 0, 0}), -0.75);
+}
+
+TEST(GridMap, OutOfBoxIsPenalised) {
+  GridBox box;
+  box.npts = {3, 3, 3};
+  box.spacing = 1.0;
+  GridMap map(box, "C");
+  EXPECT_DOUBLE_EQ(map.sample({100, 0, 0}), GridMap::kOutOfBoxPenalty);
+  EXPECT_DOUBLE_EQ(map.sample({0, -100, 0}), GridMap::kOutOfBoxPenalty);
+}
+
+TEST(GridMap, MapFileRoundTrip) {
+  GridBox box;
+  box.center = {1.5, -2.0, 3.25};
+  box.npts = {4, 3, 2};
+  box.spacing = 0.375;
+  GridMap map(box, "OA");
+  for (std::size_t i = 0; i < map.values().size(); ++i) {
+    map.values()[i] = static_cast<double>(i) * 0.25 - 1.0;
+  }
+  const GridMap back = GridMap::from_map_file(map.to_map_file());
+  EXPECT_EQ(back.label(), "OA");
+  EXPECT_EQ(back.box().npts, box.npts);
+  EXPECT_NEAR(back.box().center.z, box.center.z, 1e-6);
+  for (std::size_t i = 0; i < map.values().size(); ++i) {
+    EXPECT_NEAR(back.values()[i], map.values()[i], 1e-3);
+  }
+}
+
+TEST(GridMap, FromMapFileRejectsCountMismatch) {
+  GridBox box;
+  box.npts = {2, 2, 2};
+  GridMap map(box, "C");
+  std::string text = map.to_map_file();
+  text += "42.0\n";  // one value too many
+  EXPECT_THROW(GridMap::from_map_file(text), ParseError);
+}
+
+// -------------------------------------------------------------- scoring
+
+TEST(Scoring, DielectricIncreasesWithDistance) {
+  EXPECT_LT(mehler_solmajer_dielectric(1.0), mehler_solmajer_dielectric(5.0));
+  EXPECT_LT(mehler_solmajer_dielectric(5.0), mehler_solmajer_dielectric(20.0));
+  EXPECT_NEAR(mehler_solmajer_dielectric(100.0), 78.4, 1.0);  // bulk water
+}
+
+TEST(Scoring, Ad4VdwHasWellAtEquilibrium) {
+  const double req = mol::ad_type_params(AdType::C).rii;  // C-C optimum
+  const Ad4Weights w;
+  const double at_opt = ad4_vdw_hbond(AdType::C, AdType::C, req, w);
+  EXPECT_LT(at_opt, 0.0);
+  EXPECT_LT(at_opt, ad4_vdw_hbond(AdType::C, AdType::C, req + 1.5, w));
+  EXPECT_LT(at_opt, ad4_vdw_hbond(AdType::C, AdType::C, req - 1.0, w));
+  // Repulsive wall is clamped, not infinite.
+  EXPECT_LE(ad4_vdw_hbond(AdType::C, AdType::C, 0.1, w), w.vdw * 100.0 + 1e-9);
+}
+
+TEST(Scoring, HbondPairUsesDeeperWell) {
+  const Ad4Weights w;
+  // OA-HD at the 1.9 Å hydrogen-bond optimum is far deeper than a generic
+  // vdW contact at its own optimum.
+  const double hbond = ad4_vdw_hbond(AdType::OA, AdType::HD, 1.9, w);
+  const double vdw = ad4_vdw_hbond(AdType::C, AdType::C, 4.0, w);
+  EXPECT_LT(hbond, vdw);
+  EXPECT_NEAR(hbond, -5.0 * w.hbond, 1e-9);
+}
+
+TEST(Scoring, Ad4PairElectrostaticsSign) {
+  const Ad4Weights w;
+  const double attract = ad4_pair_energy(AdType::C, 0.5, AdType::C, -0.5, 6.0, w);
+  const double repel = ad4_pair_energy(AdType::C, 0.5, AdType::C, 0.5, 6.0, w);
+  EXPECT_LT(attract, repel);
+}
+
+TEST(Scoring, VinaTermsVanishBeyondCutoff) {
+  EXPECT_DOUBLE_EQ(vina_pair_energy(AdType::C, AdType::C, 8.0), 0.0);
+  EXPECT_DOUBLE_EQ(vina_pair_energy(AdType::C, AdType::C, 100.0), 0.0);
+}
+
+TEST(Scoring, VinaHydrogensSkip) {
+  EXPECT_DOUBLE_EQ(vina_pair_energy(AdType::H, AdType::C, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(vina_pair_energy(AdType::HD, AdType::OA, 1.9), 0.0);
+}
+
+TEST(Scoring, VinaSurfaceContactIsAttractive) {
+  const auto kc = mol::vina_kind(AdType::C);
+  const double touch = 2.0 * kc.radius;  // surface distance 0
+  EXPECT_LT(vina_pair_energy(AdType::C, AdType::C, touch), 0.0);
+}
+
+TEST(Scoring, VinaOverlapIsRepulsive) {
+  const auto kc = mol::vina_kind(AdType::C);
+  const double overlapping = 2.0 * kc.radius - 1.5;
+  EXPECT_GT(vina_pair_energy(AdType::C, AdType::C, overlapping), 0.0);
+}
+
+TEST(Scoring, VinaHbondDeepensPolarContact) {
+  const auto ko = mol::vina_kind(AdType::OA);
+  const auto kn = mol::vina_kind(AdType::NA);
+  const double r = ko.radius + kn.radius - 0.7;
+  const double polar = vina_pair_energy(AdType::OA, AdType::NA, r);
+  (void)polar;
+  // OA-OA is acceptor-acceptor: no H-bond term; OA-N (donor-less) neither.
+  // Compare donor-acceptor vs acceptor-acceptor at the same surface dist.
+  const double da = vina_pair_energy(AdType::OA, AdType::Mg, r);
+  (void)da;
+  // Direct check: the hbond ramp fires only for donor/acceptor pairs.
+  VinaWeights w;
+  const double base = vina_pair_energy(AdType::OA, AdType::OA,
+                                       2 * ko.radius - 0.7, w);
+  w.hbond = 0.0;
+  const double no_hb = vina_pair_energy(AdType::OA, AdType::OA,
+                                        2 * ko.radius - 0.7, w);
+  EXPECT_DOUBLE_EQ(base, no_hb);  // OA-OA has no donor: term never fired
+}
+
+TEST(Scoring, VinaAffinityTorsionPenalty) {
+  EXPECT_DOUBLE_EQ(vina_affinity(-10.0, 0), -10.0);
+  EXPECT_GT(vina_affinity(-10.0, 8), -10.0);  // shallower with rotors
+  EXPECT_LT(vina_affinity(-10.0, 8), 0.0);
+}
+
+// -------------------------------------------------------- neighbour list
+
+mol::Molecule scattered_atoms() {
+  mol::Molecule m{"grid"};
+  for (int x = 0; x < 5; ++x)
+    for (int y = 0; y < 5; ++y) {
+      mol::Atom a;
+      a.element = Element::C;
+      a.pos = {x * 3.0, y * 3.0, 0.0};
+      m.add_atom(a);
+    }
+  return m;
+}
+
+TEST(NeighborList, FindsExactlyAtomsWithinCutoff) {
+  const mol::Molecule m = scattered_atoms();
+  const NeighborList nl(m, 5.0);
+  int found = 0;
+  nl.for_each_within({0, 0, 0}, [&](int idx, double d2) {
+    EXPECT_LE(d2, 25.0 + 1e-9);
+    EXPECT_GE(idx, 0);
+    ++found;
+  });
+  // Within 5 Å of the corner: (0,0),(3,0),(0,3),(3,3) = 4 atoms.
+  EXPECT_EQ(found, 4);
+}
+
+TEST(NeighborList, MatchesBruteForceEverywhere) {
+  const mol::Molecule m = scattered_atoms();
+  const NeighborList nl(m, 4.2);
+  for (double qx : {-1.0, 2.5, 7.0, 13.0}) {
+    for (double qy : {0.0, 6.1, 12.0}) {
+      const Vec3 q{qx, qy, 0.5};
+      int fast = 0;
+      nl.for_each_within(q, [&](int, double) { ++fast; });
+      int brute = 0;
+      for (const mol::Atom& a : m.atoms()) {
+        if (mol::distance_sq(a.pos, q) <= 4.2 * 4.2) ++brute;
+      }
+      EXPECT_EQ(fast, brute) << qx << "," << qy;
+    }
+  }
+}
+
+TEST(IntramolecularPairs, ExcludesNearBondedPairs) {
+  // Linear chain of 5 atoms: pairs at graph distance >= 3 are (0,3), (0,4),
+  // (1,4).
+  mol::Molecule m{"chain"};
+  for (int i = 0; i < 5; ++i) {
+    mol::Atom a;
+    a.element = Element::C;
+    a.pos = {i * 1.5, 0, 0};
+    m.add_atom(a);
+  }
+  for (int i = 0; i + 1 < 5; ++i) m.add_bond(i, i + 1);
+  m.perceive();
+  const auto pairs = intramolecular_pairs(m);
+  EXPECT_EQ(pairs.size(), 3u);
+  for (const auto& [i, j] : pairs) EXPECT_GE(j - i, 3);
+}
+
+// ------------------------------------------------------------- autogrid
+
+TEST(Autogrid, MapsHaveWellsNearAtoms) {
+  mol::Molecule rec{"R"};
+  mol::Atom a;
+  a.element = Element::C;
+  a.pos = {0, 0, 0};
+  rec.add_atom(a);
+  rec.perceive();
+  GridMapCalculator calc(rec);
+  GridBox box = GridBox::around({0, 0, 0}, 6.0, 0.5);
+  const GridMapSet maps = calc.calculate(box, {AdType::C});
+  const GridMap* cmap = maps.affinity_for(AdType::C);
+  ASSERT_NE(cmap, nullptr);
+  // At the C-C optimum (4 Å) the affinity is negative; on top of the atom
+  // it is strongly positive.
+  EXPECT_LT(cmap->sample({4.0, 0, 0}), 0.0);
+  EXPECT_GT(cmap->sample({0.6, 0, 0}), 0.0);
+  EXPECT_EQ(maps.affinity_for(AdType::OA), nullptr);
+  EXPECT_EQ(maps.file_count(), 1 + 4);
+}
+
+TEST(Autogrid, ElectrostaticMapSignTracksCharge) {
+  mol::Molecule rec{"R"};
+  mol::Atom a;
+  a.element = Element::O;
+  a.pos = {0, 0, 0};
+  a.partial_charge = -0.5;
+  rec.add_atom(a);
+  rec.perceive();
+  rec.mutable_atom(0).partial_charge = -0.5;
+  rec.perceive();
+  GridMapCalculator calc(rec);
+  const GridMapSet maps = calc.calculate(GridBox::around({0, 0, 0}, 5.0, 0.5),
+                                         {AdType::C});
+  // A negative receptor charge makes the unit-positive-charge map negative.
+  EXPECT_LT(maps.electrostatic.sample({3.0, 0, 0}), 0.0);
+}
+
+TEST(Gpf, RoundTrip) {
+  GridParameterFile gpf;
+  gpf.box = GridBox::around({1, 2, 3}, 10.0, 0.375);
+  gpf.ligand_types = {AdType::C, AdType::OA, AdType::HD};
+  gpf.receptor_file = "2HHN.pdbqt";
+  const GridParameterFile back = GridParameterFile::parse(gpf.to_text());
+  EXPECT_EQ(back.box.npts, gpf.box.npts);
+  EXPECT_NEAR(back.box.center.y, 2.0, 1e-6);
+  EXPECT_EQ(back.ligand_types, gpf.ligand_types);
+  EXPECT_EQ(back.receptor_file, "2HHN.pdbqt");
+}
+
+TEST(Gpf, ParseRejectsMissingNpts) {
+  EXPECT_THROW(GridParameterFile::parse("spacing 0.375\n"), ParseError);
+}
+
+// ----------------------------------------------------------------- DPF
+
+TEST(Dpf, RoundTrip) {
+  DockingParameterFile dpf;
+  dpf.ligand_file = "lig.pdbqt";
+  dpf.receptor_maps_prefix = "receptor";
+  dpf.ga_runs = 7;
+  dpf.ga_pop_size = 33;
+  dpf.ga_num_evals = 12345;
+  dpf.seed = 99;
+  const DockingParameterFile back = DockingParameterFile::parse(dpf.to_text());
+  EXPECT_EQ(back.ligand_file, "lig.pdbqt");
+  EXPECT_EQ(back.receptor_maps_prefix, "receptor");
+  EXPECT_EQ(back.ga_runs, 7);
+  EXPECT_EQ(back.ga_pop_size, 33);
+  EXPECT_EQ(back.ga_num_evals, 12345);
+  EXPECT_EQ(back.seed, 99u);
+}
+
+TEST(VinaConfigFile, RoundTrip) {
+  VinaConfig cfg;
+  cfg.receptor_file = "rec.pdbqt";
+  cfg.ligand_file = "lig.pdbqt";
+  cfg.box = GridBox::around({5, 6, 7}, 9.0, 0.375);
+  cfg.exhaustiveness = 12;
+  cfg.num_modes = 4;
+  cfg.seed = 31337;
+  const VinaConfig back = VinaConfig::parse(cfg.to_text());
+  EXPECT_EQ(back.receptor_file, "rec.pdbqt");
+  EXPECT_EQ(back.exhaustiveness, 12);
+  EXPECT_EQ(back.num_modes, 4);
+  EXPECT_EQ(back.seed, 31337u);
+  EXPECT_NEAR(back.box.center.x, 5.0, 1e-6);
+  EXPECT_NEAR(back.box.extent().x, cfg.box.extent().x, 0.5);
+}
+
+}  // namespace
+}  // namespace scidock::dock

@@ -1,0 +1,338 @@
+// Tests for the two executors over small synthetic pipelines: fault
+// tolerance, parallelism, elasticity, provenance capture.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "prov/prov.hpp"
+#include "util/error.hpp"
+#include "wf/native_executor.hpp"
+#include "wf/pipeline.hpp"
+#include "wf/sim_executor.hpp"
+
+namespace scidock::wf {
+namespace {
+
+Relation numbers(int n) {
+  Relation rel{{"id", "engine", "workload", "hg"}};
+  for (int i = 0; i < n; ++i) {
+    Tuple t;
+    t.set("id", std::to_string(i));
+    t.set("engine", i % 2 ? "vina" : "ad4");
+    t.set("workload", "1.0");
+    t.set("hg", "0");
+    rel.add(std::move(t));
+  }
+  return rel;
+}
+
+/// Two-stage pipeline: "double" then "stringify".
+Pipeline toy_pipeline(std::atomic<int>* failures_to_inject = nullptr) {
+  Pipeline p;
+  p.add_stage(Stage{
+      "double", AlgebraicOp::Map,
+      [failures_to_inject](const Tuple& in, ActivationContext& ctx) {
+        if (failures_to_inject && failures_to_inject->fetch_sub(1) > 0) {
+          throw ActivityError("injected failure");
+        }
+        Tuple out = in;
+        out.set("doubled", std::to_string(2 * std::stoi(in.require("id"))));
+        ctx.emit_value("DOUBLED", 2.0 * std::stoi(in.require("id")));
+        return std::vector<Tuple>{out};
+      },
+      nullptr, nullptr, nullptr});
+  p.add_stage(Stage{
+      "stringify", AlgebraicOp::Map,
+      [](const Tuple& in, ActivationContext& ctx) {
+        Tuple out = in;
+        out.set("text", "v" + in.require("doubled"));
+        ctx.emit_file("/out/" + in.require("id") + ".txt", in.require("doubled"));
+        return std::vector<Tuple>{out};
+      },
+      nullptr, nullptr, nullptr});
+  return p;
+}
+
+// ------------------------------------------------------- native executor
+
+TEST(NativeExecutor, RunsChainAndCollectsOutput) {
+  const Pipeline p = toy_pipeline();
+  vfs::SharedFileSystem fs;
+  prov::ProvenanceStore store;
+  NativeExecutorOptions opts;
+  opts.threads = 2;
+  NativeExecutor exec(p, fs, store, opts);
+  const NativeReport report = exec.run(numbers(10), "toy");
+  EXPECT_EQ(report.output.size(), 10u);
+  EXPECT_EQ(report.activations_finished, 20);
+  EXPECT_EQ(report.tuples_lost, 0);
+  // Output fields present and correct.
+  for (const Tuple& t : report.output.tuples()) {
+    EXPECT_EQ(t.require("doubled"),
+              std::to_string(2 * std::stoi(t.require("id"))));
+    EXPECT_EQ(t.require("text"), "v" + t.require("doubled"));
+  }
+  // Files and values landed.
+  EXPECT_EQ(fs.list("/out/").size(), 10u);
+  const auto rs = store.query("SELECT count(*) FROM hvalue WHERE key = 'DOUBLED'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 10);
+}
+
+TEST(NativeExecutor, RetriesTransientFailures) {
+  std::atomic<int> failures{3};  // first three attempts fail
+  const Pipeline p = toy_pipeline(&failures);
+  vfs::SharedFileSystem fs;
+  prov::ProvenanceStore store;
+  NativeExecutorOptions opts;
+  opts.threads = 1;
+  opts.max_attempts = 5;
+  NativeExecutor exec(p, fs, store, opts);
+  const NativeReport report = exec.run(numbers(4), "retry");
+  EXPECT_EQ(report.output.size(), 4u);  // all recovered
+  EXPECT_EQ(report.activations_failed, 3);
+  // Failed attempts are visible in provenance.
+  const auto rs =
+      store.query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+}
+
+TEST(NativeExecutor, ExhaustedRetriesLoseTheTuple) {
+  std::atomic<int> failures{1000};  // never recovers
+  const Pipeline p = toy_pipeline(&failures);
+  vfs::SharedFileSystem fs;
+  prov::ProvenanceStore store;
+  NativeExecutorOptions opts;
+  opts.max_attempts = 2;
+  NativeExecutor exec(p, fs, store, opts);
+  const NativeReport report = exec.run(numbers(3), "lost");
+  EXPECT_EQ(report.output.size(), 0u);
+  EXPECT_EQ(report.tuples_lost, 3);
+  EXPECT_EQ(report.activations_failed, 6);  // 3 tuples x 2 attempts
+  ASSERT_EQ(report.failure_messages.size(), 3u);
+  EXPECT_NE(report.failure_messages[0].find("injected"), std::string::npos);
+}
+
+TEST(NativeExecutor, FilterDropsTuples) {
+  Pipeline p;
+  p.add_stage(Stage{
+      "keep-even", AlgebraicOp::Filter,
+      [](const Tuple& in, ActivationContext&) {
+        std::vector<Tuple> out;
+        if (std::stoi(in.require("id")) % 2 == 0) out.push_back(in);
+        return out;
+      },
+      nullptr, nullptr, nullptr});
+  vfs::SharedFileSystem fs;
+  prov::ProvenanceStore store;
+  NativeExecutor exec(p, fs, store, {});
+  const NativeReport report = exec.run(numbers(10), "filter");
+  EXPECT_EQ(report.output.size(), 5u);
+  EXPECT_EQ(report.tuples_lost, 0);
+}
+
+TEST(NativeExecutor, SplitMapFansOut) {
+  Pipeline p;
+  p.add_stage(Stage{
+      "split", AlgebraicOp::SplitMap,
+      [](const Tuple& in, ActivationContext&) {
+        std::vector<Tuple> out;
+        for (int k = 0; k < 3; ++k) {
+          Tuple t = in;
+          t.set("copy", std::to_string(k));
+          out.push_back(std::move(t));
+        }
+        return out;
+      },
+      nullptr, nullptr, nullptr});
+  vfs::SharedFileSystem fs;
+  prov::ProvenanceStore store;
+  NativeExecutor exec(p, fs, store, {});
+  const NativeReport report = exec.run(numbers(4), "split");
+  EXPECT_EQ(report.output.size(), 12u);
+}
+
+TEST(NativeExecutor, DeterministicAcrossThreadCounts) {
+  // The per-tuple forked RNG makes results independent of scheduling.
+  const Pipeline p = toy_pipeline();
+  vfs::SharedFileSystem fs1, fs2;
+  prov::ProvenanceStore s1, s2;
+  NativeExecutorOptions o1, o2;
+  o1.threads = 1;
+  o2.threads = 4;
+  const NativeReport r1 = NativeExecutor(p, fs1, s1, o1).run(numbers(8), "a");
+  const NativeReport r2 = NativeExecutor(p, fs2, s2, o2).run(numbers(8), "b");
+  ASSERT_EQ(r1.output.size(), r2.output.size());
+  // Compare sets of (id, doubled) pairs.
+  auto key_set = [](const Relation& rel) {
+    std::set<std::string> keys;
+    for (const Tuple& t : rel.tuples()) {
+      keys.insert(t.require("id") + ":" + t.require("doubled"));
+    }
+    return keys;
+  };
+  EXPECT_EQ(key_set(r1.output), key_set(r2.output));
+}
+
+TEST(NativeExecutor, StagesRelationFilesOnSharedFs) {
+  const Pipeline p = toy_pipeline();
+  vfs::SharedFileSystem fs;
+  prov::ProvenanceStore store;
+  NativeExecutor exec(p, fs, store, {});
+  const NativeReport report = exec.run(numbers(5), "rels");
+  // input_1.txt round-trips into the original relation ...
+  const Relation in_back = Relation::from_file_text(
+      fs.read("/root/exp_scidock/relations/input_1.txt"));
+  EXPECT_EQ(in_back.size(), 5u);
+  EXPECT_EQ(in_back.field_names().front(), "id");
+  // ... and output_1.txt matches the report's output relation.
+  const Relation out_back = Relation::from_file_text(
+      fs.read("/root/exp_scidock/relations/output_1.txt"));
+  EXPECT_EQ(out_back.size(), report.output.size());
+  // Both are discoverable through provenance.
+  const auto rs = store.query(
+      "SELECT count(*) FROM hfile WHERE fname LIKE '%_1.txt'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+}
+
+// ---------------------------------------------------- simulated executor
+
+cloud::CostModel toy_cost_model() {
+  cloud::CostModel model;
+  model.set_cost({"double", 10.0, 0.3, 0.5});
+  model.set_cost({"stringify", 5.0, 0.3, 0.5});
+  return model;
+}
+
+SimExecutorOptions quiet_sim(int cores) {
+  SimExecutorOptions opts;
+  opts.fleet = m3_fleet_for_cores(cores);
+  opts.failure.failure_probability = 0.0;
+  opts.failure.hang_probability = 0.0;
+  return opts;
+}
+
+TEST(SimulatedExecutor, CompletesAllTuples) {
+  const Pipeline p = toy_pipeline();
+  SimulatedExecutor exec(p, toy_cost_model(), quiet_sim(4));
+  const SimReport report = exec.run(numbers(20));
+  EXPECT_EQ(report.tuples_completed, 20);
+  EXPECT_EQ(report.activations_finished, 40);
+  EXPECT_EQ(report.tuples_lost, 0);
+  EXPECT_GT(report.total_execution_time_s, 0.0);
+  EXPECT_GT(report.cloud_cost_usd, 0.0);
+  EXPECT_EQ(report.per_activity_seconds.size(), 2u);
+}
+
+TEST(SimulatedExecutor, DeterministicGivenSeed) {
+  const Pipeline p = toy_pipeline();
+  SimExecutorOptions opts = quiet_sim(4);
+  opts.seed = 99;
+  const SimReport a = SimulatedExecutor(p, toy_cost_model(), opts).run(numbers(20));
+  const SimReport b = SimulatedExecutor(p, toy_cost_model(), opts).run(numbers(20));
+  EXPECT_DOUBLE_EQ(a.total_execution_time_s, b.total_execution_time_s);
+  EXPECT_EQ(a.activations_finished, b.activations_finished);
+}
+
+TEST(SimulatedExecutor, MoreCoresFasterTet) {
+  const Pipeline p = toy_pipeline();
+  const SimReport slow = SimulatedExecutor(p, toy_cost_model(), quiet_sim(2))
+                             .run(numbers(200));
+  const SimReport fast = SimulatedExecutor(p, toy_cost_model(), quiet_sim(16))
+                             .run(numbers(200));
+  EXPECT_GT(slow.total_execution_time_s, 2.0 * fast.total_execution_time_s);
+}
+
+TEST(SimulatedExecutor, FailuresAreReexecuted) {
+  const Pipeline p = toy_pipeline();
+  SimExecutorOptions opts = quiet_sim(4);
+  opts.failure.failure_probability = 0.3;
+  const SimReport report =
+      SimulatedExecutor(p, toy_cost_model(), opts).run(numbers(100));
+  EXPECT_GT(report.activations_failed, 10);
+  EXPECT_EQ(report.tuples_completed, 100);  // all recovered via retry
+  EXPECT_EQ(report.tuples_lost, 0);
+}
+
+TEST(SimulatedExecutor, ReexecutionOffLosesFailedTuples) {
+  const Pipeline p = toy_pipeline();
+  SimExecutorOptions opts = quiet_sim(4);
+  opts.failure.failure_probability = 0.3;
+  opts.reexecute_failures = false;
+  const SimReport report =
+      SimulatedExecutor(p, toy_cost_model(), opts).run(numbers(100));
+  EXPECT_GT(report.tuples_lost, 10);
+  EXPECT_EQ(report.tuples_completed + report.tuples_lost, 100);
+}
+
+TEST(SimulatedExecutor, HazardPreabortSkipsHangTimeout) {
+  Pipeline p;
+  p.add_stage(Stage{"double", AlgebraicOp::Map, nullptr, nullptr, nullptr,
+                    [](const Tuple& t) { return t.require("hg") == "1"; }});
+  Relation rel{{"id", "hg"}};
+  for (int i = 0; i < 10; ++i) {
+    Tuple t;
+    t.set("id", std::to_string(i));
+    t.set("hg", i == 0 ? "1" : "0");
+    rel.add(std::move(t));
+  }
+  cloud::CostModel model;
+  model.set_cost({"double", 10.0, 0.3, 0.5});
+
+  SimExecutorOptions with_fix = quiet_sim(2);
+  with_fix.preabort_hazards = true;
+  const SimReport fixed = SimulatedExecutor(p, model, with_fix).run(rel);
+  EXPECT_EQ(fixed.tuples_lost, 1);  // the Hg tuple, aborted instantly
+
+  SimExecutorOptions without_fix = quiet_sim(2);
+  without_fix.preabort_hazards = false;
+  without_fix.failure.hang_timeout_s = 500.0;
+  const SimReport broken = SimulatedExecutor(p, model, without_fix).run(rel);
+  // Without the routine, the hang timeout is burned max_attempts times.
+  EXPECT_GT(broken.total_execution_time_s,
+            fixed.total_execution_time_s + 400.0);
+  EXPECT_GT(broken.activations_hung, fixed.activations_hung);
+}
+
+TEST(SimulatedExecutor, ElasticityAcquiresVms) {
+  const Pipeline p = toy_pipeline();
+  SimExecutorOptions opts = quiet_sim(2);
+  opts.elasticity = true;
+  opts.min_vms = 1;
+  opts.max_vms = 8;
+  opts.elastic_vm_type = cloud::vm_type_m3_xlarge();
+  opts.elasticity_period_s = 30.0;
+  const SimReport report =
+      SimulatedExecutor(p, toy_cost_model(), opts).run(numbers(400));
+  EXPECT_GT(report.peak_alive_vms, 1);
+  EXPECT_EQ(report.tuples_completed, 400);
+}
+
+TEST(SimulatedExecutor, ProvenanceMatchesReport) {
+  const Pipeline p = toy_pipeline();
+  prov::ProvenanceStore store;
+  SimExecutorOptions opts = quiet_sim(4);
+  opts.failure.failure_probability = 0.2;
+  const SimReport report =
+      SimulatedExecutor(p, toy_cost_model(), opts).run(numbers(50), &store, "toy");
+  const auto finished = store.query(
+      "SELECT count(*) FROM hactivation WHERE status = 'FINISHED'");
+  EXPECT_EQ(finished.rows[0][0].as_int(), report.activations_finished);
+  const auto failed = store.query(
+      "SELECT count(*) FROM hactivation WHERE status = 'FAILED'");
+  EXPECT_EQ(failed.rows[0][0].as_int(), report.activations_failed);
+  // Workflow row closed with the TET.
+  const auto wf = store.query("SELECT endtime FROM hworkflow WHERE tag = 'toy'");
+  EXPECT_DOUBLE_EQ(wf.rows[0][0].as_double(), report.total_execution_time_s);
+}
+
+TEST(SimulatedExecutor, UnknownStageCostRejected) {
+  Pipeline p;
+  p.add_stage(Stage{"mystery", AlgebraicOp::Map, nullptr, nullptr, nullptr, nullptr});
+  EXPECT_THROW(SimulatedExecutor(p, toy_cost_model(), quiet_sim(2)),
+               InvalidStateError);
+}
+
+}  // namespace
+}  // namespace scidock::wf

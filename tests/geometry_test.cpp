@@ -1,0 +1,149 @@
+// Unit tests for mol geometry: vectors, quaternions, poses, dihedrals.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mol/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace scidock::mol {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+}
+
+TEST(Vec3, CrossFollowsRightHandRule) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ(y.cross(x), -z);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.normalized().norm(), 1.0);
+  // Degenerate input gives a unit fallback, never NaN.
+  const Vec3 zero{};
+  EXPECT_DOUBLE_EQ(zero.normalized().norm(), 1.0);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {1, 2, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0, 0}, {1, 2, 2}), 9.0);
+}
+
+TEST(Quaternion, IdentityLeavesVectorsAlone) {
+  const Vec3 v{1.5, -2.0, 0.5};
+  const Vec3 r = Quaternion::identity().rotate(v);
+  EXPECT_NEAR(distance(r, v), 0.0, 1e-12);
+}
+
+TEST(Quaternion, AxisAngleRotation) {
+  // 90 degrees about z maps x to y.
+  const Quaternion q = Quaternion::from_axis_angle({0, 0, 1}, kPi / 2);
+  const Vec3 r = q.rotate({1, 0, 0});
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR(r.z, 0.0, 1e-12);
+}
+
+TEST(Quaternion, RotationPreservesLengthsAndAngles) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Quaternion q = Quaternion::random_uniform(rng.uniform(), rng.uniform(),
+                                                    rng.uniform());
+    const Vec3 a{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 b{rng.normal(), rng.normal(), rng.normal()};
+    EXPECT_NEAR(q.rotate(a).norm(), a.norm(), 1e-9);
+    EXPECT_NEAR(q.rotate(a).dot(q.rotate(b)), a.dot(b), 1e-9);
+  }
+}
+
+TEST(Quaternion, CompositionMatchesSequentialRotation) {
+  const Quaternion q1 = Quaternion::from_axis_angle({0, 0, 1}, 0.7);
+  const Quaternion q2 = Quaternion::from_axis_angle({1, 0, 0}, -0.3);
+  const Vec3 v{0.2, 1.0, -0.5};
+  const Vec3 sequential = q2.rotate(q1.rotate(v));
+  const Vec3 composed = (q2 * q1).rotate(v);
+  EXPECT_NEAR(distance(sequential, composed), 0.0, 1e-12);
+}
+
+TEST(Quaternion, ConjugateInverts) {
+  const Quaternion q = Quaternion::from_axis_angle({1, 2, 3}, 1.1);
+  const Vec3 v{4, 5, 6};
+  EXPECT_NEAR(distance(q.conjugate().rotate(q.rotate(v)), v), 0.0, 1e-12);
+}
+
+TEST(Quaternion, RandomUniformIsUnit) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const Quaternion q = Quaternion::random_uniform(rng.uniform(), rng.uniform(),
+                                                    rng.uniform());
+    EXPECT_NEAR(q.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Pose, RotateThenTranslate) {
+  Pose pose;
+  pose.rotation = Quaternion::from_axis_angle({0, 0, 1}, kPi);
+  pose.translation = {10, 0, 0};
+  const Vec3 r = pose.apply({1, 0, 0});
+  EXPECT_NEAR(r.x, 9.0, 1e-12);
+  EXPECT_NEAR(r.y, 0.0, 1e-12);
+}
+
+TEST(Geometry, CentroidAndBounds) {
+  const std::vector<Vec3> pts{{0, 0, 0}, {2, 0, 0}, {0, 4, 0}, {0, 0, 6}};
+  const Vec3 c = centroid(pts);
+  EXPECT_NEAR(c.x, 0.5, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+  EXPECT_NEAR(c.z, 1.5, 1e-12);
+  const Aabb box = bounding_box(pts);
+  EXPECT_EQ(box.lo, (Vec3{0, 0, 0}));
+  EXPECT_EQ(box.hi, (Vec3{2, 4, 6}));
+  EXPECT_TRUE(box.contains({1, 1, 1}));
+  EXPECT_FALSE(box.contains({3, 0, 0}));
+}
+
+TEST(Geometry, DihedralKnownValues) {
+  // cis (eclipsed) = 0, trans = pi.
+  const Vec3 a{1, 1, 0}, b{1, 0, 0}, c{0, 0, 0};
+  EXPECT_NEAR(dihedral_angle(a, b, c, {0, 1, 0}), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(dihedral_angle(a, b, c, {0, -1, 0})), kPi, 1e-9);
+  EXPECT_NEAR(std::abs(dihedral_angle(a, b, c, {0, 0, 1})), kPi / 2, 1e-9);
+}
+
+TEST(Geometry, RotateAboutAxisMatchesDihedralChange) {
+  const Vec3 a{1, 1, 0}, b{1, 0, 0}, c{0, 0, 0}, d{0, 1, 0};
+  const double before = dihedral_angle(a, b, c, d);
+  const Vec3 d2 = rotate_about_axis(d, c, b - c, 0.5);
+  const double after = dihedral_angle(a, b, c, d2);
+  // Rotating the far atom about the central bond changes the dihedral by
+  // exactly the rotation angle (sign depends on axis orientation).
+  EXPECT_NEAR(std::abs(after - before), 0.5, 1e-9);
+}
+
+TEST(Geometry, RotateAboutAxisKeepsAxisPointsFixed) {
+  const Vec3 origin{1, 2, 3};
+  const Vec3 axis{0, 1, 0};
+  const Vec3 on_axis = origin + axis * 2.0;
+  EXPECT_NEAR(distance(rotate_about_axis(on_axis, origin, axis, 1.3), on_axis),
+              0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace scidock::mol

@@ -1,0 +1,390 @@
+// Tests for the SQL engine: lexer, parser, evaluation, joins, grouping.
+
+#include <gtest/gtest.h>
+
+#include "sql/engine.hpp"
+#include "sql/lexer.hpp"
+#include "sql/parser.hpp"
+#include "sql/table.hpp"
+#include "util/error.hpp"
+
+namespace scidock::sql {
+namespace {
+
+// ---------------------------------------------------------------- lexer
+
+TEST(Lexer, TokenizesMixedStatement) {
+  const auto tokens = tokenize("SELECT a.x, 'it''s', 3.5 FROM t WHERE x <> 2");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_TRUE(tokens[0].is_keyword("select"));
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_TRUE(tokens[2].is_symbol("."));
+  // the escaped string literal
+  bool found = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::String && t.text == "it's") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lexer, NumbersAndComments) {
+  const auto tokens = tokenize("-- comment\n1 2.5 1e3 /* block\n */ 7");
+  std::vector<std::string> nums;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::Integer || t.kind == TokenKind::Float) {
+      nums.push_back(t.text);
+    }
+  }
+  EXPECT_EQ(nums, (std::vector<std::string>{"1", "2.5", "1e3", "7"}));
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(tokenize("'unterminated"), ParseError);
+  EXPECT_THROW(tokenize("SELECT #"), ParseError);
+  EXPECT_THROW(tokenize("/* forever"), ParseError);
+}
+
+// --------------------------------------------------------------- parser
+
+TEST(Parser, FullSelectShape) {
+  const SelectStmt s = parse_select(
+      "SELECT a.tag, avg(x) AS mean FROM ta a, tb WHERE a.id = tb.id AND x > 3 "
+      "GROUP BY a.tag HAVING count(*) > 1 ORDER BY mean DESC LIMIT 10");
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "mean");
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "a");
+  EXPECT_EQ(s.from[1].alias, "tb");
+  EXPECT_NE(s.where, nullptr);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  EXPECT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_EQ(s.limit, 10u);
+}
+
+TEST(Parser, ExtractEpochSyntax) {
+  const SelectStmt s = parse_select(
+      "SELECT extract ('epoch' from (t.endtime-t.starttime)) FROM t");
+  ASSERT_EQ(s.items.size(), 1u);
+  const Expr& e = *s.items[0].expr;
+  EXPECT_EQ(e.kind, Expr::Kind::Call);
+  EXPECT_EQ(e.call_name, "extract");
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0]->literal.as_string(), "epoch");
+}
+
+TEST(Parser, OperatorPrecedence) {
+  const SelectStmt s = parse_select("SELECT 2 + 3 * 4 FROM t");
+  // (2 + (3 * 4)): root is Add.
+  EXPECT_EQ(s.items[0].expr->binary_op, BinaryOp::Add);
+  EXPECT_EQ(s.items[0].expr->rhs->binary_op, BinaryOp::Mul);
+}
+
+TEST(Parser, RejectsSyntaxErrors) {
+  EXPECT_THROW(parse_statement("SELECT"), ParseError);
+  EXPECT_THROW(parse_statement("SELECT x"), ParseError);       // no FROM
+  EXPECT_THROW(parse_statement("FOO BAR"), ParseError);
+  EXPECT_THROW(parse_statement("SELECT x FROM t WHERE"), ParseError);
+  EXPECT_THROW(parse_statement("SELECT x FROM t extra junk ("), ParseError);
+}
+
+TEST(Parser, StatementKinds) {
+  EXPECT_EQ(parse_statement("SELECT 1 FROM t").kind, Statement::Kind::Select);
+  EXPECT_EQ(parse_statement("CREATE TABLE t (a int, b character varying(50))").kind,
+            Statement::Kind::CreateTable);
+  EXPECT_EQ(parse_statement("INSERT INTO t VALUES (1, 'x')").kind,
+            Statement::Kind::Insert);
+  EXPECT_EQ(parse_statement("DELETE FROM t WHERE a = 1").kind,
+            Statement::Kind::Delete);
+}
+
+// ---------------------------------------------------------------- value
+
+TEST(Value, OrderingAcrossTypes) {
+  EXPECT_EQ(Value(1).compare(Value(1.0)), std::strong_ordering::equal);
+  EXPECT_EQ(Value(1).compare(Value(2)), std::strong_ordering::less);
+  EXPECT_EQ(Value().compare(Value(0)), std::strong_ordering::less);  // NULL first
+  EXPECT_EQ(Value("a").compare(Value("b")), std::strong_ordering::less);
+  EXPECT_EQ(Value(5).compare(Value("a")), std::strong_ordering::less);  // nums < strings
+}
+
+TEST(Value, Rendering) {
+  EXPECT_EQ(Value().to_string(), "NULL");
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value("x").to_string(), "x");
+}
+
+// --------------------------------------------------------------- engine
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine = std::make_unique<Engine>(db);
+    engine->execute("CREATE TABLE runs (id int, tag varchar(20), secs float, vm int)");
+    engine->execute("INSERT INTO runs VALUES (1, 'babel', 2.5, 1)");
+    engine->execute("INSERT INTO runs VALUES (2, 'babel', 3.5, 2)");
+    engine->execute("INSERT INTO runs VALUES (3, 'vina', 100.0, 1)");
+    engine->execute("INSERT INTO runs VALUES (4, 'vina', 200.0, 2)");
+    engine->execute("INSERT INTO runs VALUES (5, 'ad4', 150.0, 1)");
+    engine->execute("CREATE TABLE vms (vm int, name varchar(20))");
+    engine->execute("INSERT INTO vms VALUES (1, 'm3.xlarge'), (2, 'm3.2xlarge')");
+  }
+
+  Database db;
+  std::unique_ptr<Engine> engine;
+};
+
+TEST_F(EngineTest, SelectStar) {
+  const ResultSet rs = engine->execute("SELECT * FROM runs");
+  EXPECT_EQ(rs.columns.size(), 4u);
+  EXPECT_EQ(rs.rows.size(), 5u);
+}
+
+TEST_F(EngineTest, WhereFilters) {
+  const ResultSet rs =
+      engine->execute("SELECT id FROM runs WHERE secs > 50 AND tag <> 'ad4'");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 3);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 4);
+}
+
+TEST_F(EngineTest, JoinWithPushdown) {
+  const ResultSet rs = engine->execute(
+      "SELECT r.id, v.name FROM runs r, vms v WHERE r.vm = v.vm AND "
+      "v.name = 'm3.2xlarge'");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  for (const Row& row : rs.rows) {
+    EXPECT_EQ(row[1].as_string(), "m3.2xlarge");
+  }
+}
+
+TEST_F(EngineTest, GroupByWithAggregates) {
+  const ResultSet rs = engine->execute(
+      "SELECT tag, min(secs), max(secs), sum(secs), avg(secs), count(*) "
+      "FROM runs GROUP BY tag ORDER BY tag");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  // rows sorted: ad4, babel, vina
+  EXPECT_EQ(rs.rows[0][0].as_string(), "ad4");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "babel");
+  EXPECT_DOUBLE_EQ(rs.rows[1][1].as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(rs.rows[1][2].as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.rows[1][3].as_double(), 6.0);
+  EXPECT_DOUBLE_EQ(rs.rows[1][4].as_double(), 3.0);
+  EXPECT_EQ(rs.rows[1][5].as_int(), 2);
+  EXPECT_EQ(rs.rows[2][0].as_string(), "vina");
+  EXPECT_DOUBLE_EQ(rs.rows[2][4].as_double(), 150.0);
+}
+
+TEST_F(EngineTest, AggregateWithoutGroupBy) {
+  const ResultSet rs = engine->execute("SELECT count(*), avg(secs) FROM runs");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 5);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].as_double(), 91.2);
+}
+
+TEST_F(EngineTest, AggregateOverEmptyInput) {
+  const ResultSet rs =
+      engine->execute("SELECT count(*) FROM runs WHERE id > 999");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+}
+
+TEST_F(EngineTest, Having) {
+  const ResultSet rs = engine->execute(
+      "SELECT tag FROM runs GROUP BY tag HAVING count(*) > 1 ORDER BY tag");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_string(), "babel");
+  EXPECT_EQ(rs.rows[1][0].as_string(), "vina");
+}
+
+TEST_F(EngineTest, OrderByMultipleKeysAndLimit) {
+  const ResultSet rs = engine->execute(
+      "SELECT id FROM runs ORDER BY vm ASC, secs DESC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 5);  // vm 1, 150s
+  EXPECT_EQ(rs.rows[1][0].as_int(), 3);  // vm 1, 100s
+}
+
+TEST_F(EngineTest, Distinct) {
+  const ResultSet rs = engine->execute("SELECT DISTINCT vm FROM runs");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, LikePatterns) {
+  const ResultSet rs =
+      engine->execute("SELECT name FROM vms WHERE name LIKE 'm3.%large'");
+  EXPECT_EQ(rs.rows.size(), 2u);
+  const ResultSet rs2 =
+      engine->execute("SELECT name FROM vms WHERE name LIKE '%2xlarge'");
+  EXPECT_EQ(rs2.rows.size(), 1u);
+  const ResultSet rs3 =
+      engine->execute("SELECT name FROM vms WHERE name LIKE 'm_.xlarge'");
+  EXPECT_EQ(rs3.rows.size(), 1u);
+}
+
+TEST_F(EngineTest, ExtractEpochOnNumericTimestamps) {
+  const ResultSet rs = engine->execute(
+      "SELECT extract('epoch' from (secs - 0.5)) FROM runs WHERE id = 1");
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_double(), 2.0);
+}
+
+TEST_F(EngineTest, ScalarFunctions) {
+  const ResultSet rs = engine->execute(
+      "SELECT abs(-3), round(2.7), upper('ab'), lower('CD'), length('hello'), "
+      "coalesce(NULL, 7), substr('abcdef', 2, 3) FROM vms LIMIT 1");
+  const Row& r = rs.rows[0];
+  EXPECT_EQ(r[0].as_int(), 3);
+  EXPECT_DOUBLE_EQ(r[1].as_double(), 3.0);
+  EXPECT_EQ(r[2].as_string(), "AB");
+  EXPECT_EQ(r[3].as_string(), "cd");
+  EXPECT_EQ(r[4].as_int(), 5);
+  EXPECT_EQ(r[5].as_int(), 7);
+  EXPECT_EQ(r[6].as_string(), "bcd");
+}
+
+TEST_F(EngineTest, ArithmeticAndConcat) {
+  const ResultSet rs = engine->execute(
+      "SELECT 7 / 2.0, 7 % 3, 'a' || 'b' || 'c' FROM vms LIMIT 1");
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_double(), 3.5);
+  EXPECT_EQ(rs.rows[0][1].as_int(), 1);
+  EXPECT_EQ(rs.rows[0][2].as_string(), "abc");
+}
+
+TEST_F(EngineTest, NullHandling) {
+  engine->execute("CREATE TABLE n (a int)");
+  engine->execute("INSERT INTO n VALUES (NULL), (1)");
+  EXPECT_EQ(engine->execute("SELECT count(a) FROM n").rows[0][0].as_int(), 1);
+  EXPECT_EQ(engine->execute("SELECT count(*) FROM n").rows[0][0].as_int(), 2);
+  EXPECT_EQ(engine->execute("SELECT a FROM n WHERE a IS NULL").rows.size(), 1u);
+  EXPECT_EQ(engine->execute("SELECT a FROM n WHERE a IS NOT NULL").rows.size(), 1u);
+  // NULL comparisons are never true.
+  EXPECT_EQ(engine->execute("SELECT a FROM n WHERE a = a").rows.size(), 1u);
+}
+
+TEST_F(EngineTest, DeleteReportsCount) {
+  const ResultSet rs = engine->execute("DELETE FROM runs WHERE tag = 'babel'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  EXPECT_EQ(engine->execute("SELECT * FROM runs").rows.size(), 3u);
+}
+
+TEST_F(EngineTest, InsertWithColumnList) {
+  engine->execute("INSERT INTO runs (id, tag) VALUES (9, 'x')");
+  const ResultSet rs = engine->execute("SELECT secs FROM runs WHERE id = 9");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(EngineTest, ErrorsOnUnknownEntities) {
+  EXPECT_THROW(engine->execute("SELECT * FROM nope"), NotFoundError);
+  EXPECT_THROW(engine->execute("SELECT nope FROM runs"), NotFoundError);
+  EXPECT_THROW(engine->execute("SELECT nope(1) FROM runs"), NotFoundError);
+  EXPECT_THROW(engine->execute("SELECT vm FROM runs r, vms v"), Error);  // ambiguous
+}
+
+TEST_F(EngineTest, DivisionByZeroRejected) {
+  EXPECT_THROW(engine->execute("SELECT 1 / 0.0 FROM vms"), Error);
+  EXPECT_THROW(engine->execute("SELECT 1 % 0 FROM vms"), Error);
+}
+
+TEST_F(EngineTest, ResultSetRendering) {
+  const ResultSet rs = engine->execute("SELECT vm, name FROM vms ORDER BY vm");
+  const std::string text = rs.to_text();
+  EXPECT_NE(text.find("m3.xlarge"), std::string::npos);
+  EXPECT_NE(text.find("(2 rows)"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST_F(EngineTest, OrderByResolvesSelectAliases) {
+  const ResultSet rs = engine->execute(
+      "SELECT id, secs * 2 AS doubled FROM runs ORDER BY doubled DESC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 4);  // 200s
+  EXPECT_EQ(rs.rows[1][0].as_int(), 5);  // 150s
+  // Aggregate aliases too.
+  const ResultSet grouped = engine->execute(
+      "SELECT tag, avg(secs) AS mean FROM runs GROUP BY tag ORDER BY mean");
+  EXPECT_EQ(grouped.rows[0][0].as_string(), "babel");
+  EXPECT_EQ(grouped.rows[2][0].as_string(), "vina");
+}
+
+TEST_F(EngineTest, InAndNotIn) {
+  const ResultSet in_rs =
+      engine->execute("SELECT id FROM runs WHERE tag IN ('babel', 'ad4') "
+                      "ORDER BY id");
+  ASSERT_EQ(in_rs.rows.size(), 3u);
+  EXPECT_EQ(in_rs.rows[2][0].as_int(), 5);
+  const ResultSet not_in =
+      engine->execute("SELECT count(*) FROM runs WHERE tag NOT IN ('vina')");
+  EXPECT_EQ(not_in.rows[0][0].as_int(), 3);
+  // NULL probe is never IN anything.
+  engine->execute("CREATE TABLE ni (a int)");
+  engine->execute("INSERT INTO ni VALUES (NULL)");
+  EXPECT_EQ(engine->execute("SELECT count(*) FROM ni WHERE a IN (1, 2)")
+                .rows[0][0]
+                .as_int(),
+            0);
+}
+
+TEST_F(EngineTest, BetweenAndNotBetween) {
+  const ResultSet rs = engine->execute(
+      "SELECT id FROM runs WHERE secs BETWEEN 3.0 AND 150.0 ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 3u);  // 3.5, 100, 150 (inclusive bounds)
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  EXPECT_EQ(rs.rows[2][0].as_int(), 5);
+  const ResultSet neg = engine->execute(
+      "SELECT count(*) FROM runs WHERE secs NOT BETWEEN 3.0 AND 150.0");
+  EXPECT_EQ(neg.rows[0][0].as_int(), 2);
+}
+
+TEST_F(EngineTest, UpdateWithWhere) {
+  const ResultSet rs =
+      engine->execute("UPDATE runs SET secs = secs * 2 WHERE tag = 'babel'");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);  // rows updated
+  const ResultSet check =
+      engine->execute("SELECT sum(secs) FROM runs WHERE tag = 'babel'");
+  EXPECT_DOUBLE_EQ(check.rows[0][0].as_double(), 12.0);
+  // Other rows untouched.
+  const ResultSet rest =
+      engine->execute("SELECT sum(secs) FROM runs WHERE tag <> 'babel'");
+  EXPECT_DOUBLE_EQ(rest.rows[0][0].as_double(), 450.0);
+}
+
+TEST_F(EngineTest, UpdateMultiAssignmentUsesPreUpdateValues) {
+  engine->execute("CREATE TABLE swap (a int, b int)");
+  engine->execute("INSERT INTO swap VALUES (1, 2)");
+  engine->execute("UPDATE swap SET a = b, b = a");
+  const ResultSet rs = engine->execute("SELECT a, b FROM swap");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  EXPECT_EQ(rs.rows[0][1].as_int(), 1);
+}
+
+TEST_F(EngineTest, UpdateAllRowsAndUnknownColumn) {
+  const ResultSet rs = engine->execute("UPDATE runs SET vm = 9");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 5);
+  EXPECT_THROW(engine->execute("UPDATE runs SET nope = 1"), Error);
+}
+
+TEST(Database, TableLifecycle) {
+  Database db;
+  db.create_table("t", {"a"});
+  EXPECT_TRUE(db.has_table("T"));  // case-insensitive
+  EXPECT_THROW(db.create_table("t", {"b"}), InvalidStateError);
+  EXPECT_EQ(db.table_names().size(), 1u);
+  db.drop_table("t");
+  EXPECT_FALSE(db.has_table("t"));
+  EXPECT_THROW(db.table("t"), NotFoundError);
+  EXPECT_THROW(db.drop_table("t"), NotFoundError);
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t("x", {"a", "b"});
+  EXPECT_THROW(t.insert({Value(1)}), InvalidStateError);
+  t.insert({Value(1), Value(2)});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_index("B"), 1);
+  EXPECT_EQ(t.column_index("z"), -1);
+}
+
+}  // namespace
+}  // namespace scidock::sql

@@ -1,0 +1,123 @@
+// Tests for the shared virtual filesystem (s3fs stand-in).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+#include "vfs/vfs.hpp"
+
+namespace scidock::vfs {
+namespace {
+
+TEST(Vfs, WriteReadRoundTrip) {
+  SharedFileSystem fs;
+  fs.write("/exp/input/2HHN.pdb", "ATOM ...", 12.5, "stager");
+  EXPECT_TRUE(fs.exists("/exp/input/2HHN.pdb"));
+  EXPECT_EQ(fs.read("/exp/input/2HHN.pdb"), "ATOM ...");
+  const auto info = fs.stat("/exp/input/2HHN.pdb");
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->size, 8u);
+  EXPECT_DOUBLE_EQ(info->mtime, 12.5);
+  EXPECT_EQ(info->producer, "stager");
+}
+
+TEST(Vfs, PathNormalisation) {
+  SharedFileSystem fs;
+  fs.write("a//b///c.txt", "x");
+  EXPECT_TRUE(fs.exists("/a/b/c.txt"));
+  EXPECT_EQ(fs.read("a/b/c.txt"), "x");
+}
+
+TEST(Vfs, OverwriteReplacesContent) {
+  SharedFileSystem fs;
+  fs.write("/f", "one");
+  fs.write("/f", "twotwo");
+  EXPECT_EQ(fs.read("/f"), "twotwo");
+  EXPECT_EQ(fs.file_count(), 1u);
+  EXPECT_EQ(fs.stat("/f")->size, 6u);
+}
+
+TEST(Vfs, MissingFileThrows) {
+  SharedFileSystem fs;
+  EXPECT_THROW(fs.read("/nope"), NotFoundError);
+  EXPECT_THROW(fs.remove("/nope"), NotFoundError);
+  EXPECT_FALSE(fs.stat("/nope"));
+  EXPECT_FALSE(fs.exists("/nope"));
+}
+
+TEST(Vfs, RemoveDeletes) {
+  SharedFileSystem fs;
+  fs.write("/f", "x");
+  fs.remove("/f");
+  EXPECT_FALSE(fs.exists("/f"));
+  EXPECT_EQ(fs.file_count(), 0u);
+}
+
+TEST(Vfs, ListByPrefixSorted) {
+  SharedFileSystem fs;
+  fs.write("/exp/dlg/b.dlg", "2");
+  fs.write("/exp/dlg/a.dlg", "1");
+  fs.write("/exp/maps/x.map", "3");
+  const auto dlg = fs.list("/exp/dlg/");
+  ASSERT_EQ(dlg.size(), 2u);
+  EXPECT_EQ(dlg[0].path, "/exp/dlg/a.dlg");
+  EXPECT_EQ(dlg[1].path, "/exp/dlg/b.dlg");
+  EXPECT_EQ(fs.list("/").size(), 3u);
+  EXPECT_EQ(fs.list().size(), 3u);
+  EXPECT_TRUE(fs.list("/none/").empty());
+}
+
+TEST(Vfs, AccountingTracksBytes) {
+  SharedFileSystem fs;
+  fs.write("/a", std::string(100, 'x'));
+  fs.write("/b", std::string(50, 'y'));
+  EXPECT_EQ(fs.bytes_written(), 150u);
+  EXPECT_EQ(fs.total_bytes(), 150u);
+  (void)fs.read("/a");
+  EXPECT_EQ(fs.bytes_read(), 100u);
+}
+
+TEST(Vfs, LatencyModelPricesOps) {
+  LatencyModel lat;
+  lat.op_latency_s = 0.1;
+  lat.throughput_bytes_per_s = 1000.0;
+  EXPECT_DOUBLE_EQ(lat.read_cost(500), 0.1 + 0.5);
+  EXPECT_DOUBLE_EQ(lat.write_cost(0), 0.1);
+  SharedFileSystem fs(lat);
+  EXPECT_DOUBLE_EQ(fs.read_cost(500), 0.6);
+}
+
+TEST(Vfs, SplitPath) {
+  const auto [dir, name] = split_path("/root/exp_SciDock/autodock4/223/GOL_4C5P.dlg");
+  EXPECT_EQ(dir, "/root/exp_SciDock/autodock4/223/");
+  EXPECT_EQ(name, "GOL_4C5P.dlg");
+  const auto [d2, n2] = split_path("bare.txt");
+  EXPECT_EQ(d2, "/");
+  EXPECT_EQ(n2, "bare.txt");
+}
+
+TEST(Vfs, ConcurrentWritersAreSafe) {
+  SharedFileSystem fs;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fs, t] {
+      for (int i = 0; i < 100; ++i) {
+        fs.write("/t" + std::to_string(t) + "/f" + std::to_string(i),
+                 std::string(10, 'a'));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fs.file_count(), 400u);
+  EXPECT_EQ(fs.total_bytes(), 4000u);
+}
+
+TEST(Vfs, EmptyPathRejected) {
+  SharedFileSystem fs;
+  EXPECT_THROW(fs.write("", "x"), InvalidStateError);
+  EXPECT_THROW(fs.write("/", "x"), InvalidStateError);
+}
+
+}  // namespace
+}  // namespace scidock::vfs

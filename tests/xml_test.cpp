@@ -1,0 +1,114 @@
+// Unit tests for the XML DOM parser used by workflow specifications.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "xml/xml.hpp"
+
+namespace scidock::xml {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  const Document doc = parse("<root a=\"1\" b=\"two\">text</root>");
+  ASSERT_TRUE(doc.root);
+  EXPECT_EQ(doc.root->name(), "root");
+  EXPECT_EQ(doc.root->attribute("a"), "1");
+  EXPECT_EQ(doc.root->attribute("b"), "two");
+  EXPECT_EQ(doc.root->attribute("c"), std::nullopt);
+  EXPECT_EQ(doc.root->text(), "text");
+}
+
+TEST(Xml, ParsesNestedChildren) {
+  const Document doc = parse(
+      "<wf><act tag=\"babel\"/><act tag=\"vina\"/><db/></wf>");
+  EXPECT_EQ(doc.root->children().size(), 3u);
+  const auto acts = doc.root->children_named("act");
+  ASSERT_EQ(acts.size(), 2u);
+  EXPECT_EQ(acts[1]->attribute("tag"), "vina");
+  EXPECT_NE(doc.root->child("db"), nullptr);
+  EXPECT_EQ(doc.root->child("missing"), nullptr);
+}
+
+TEST(Xml, ParsesDeclarationCommentsAndDoctype) {
+  const Document doc = parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE scicumulus>\n"
+      "<!-- header comment -->\n"
+      "<a><!-- inner --><b/></a>\n"
+      "<!-- trailing -->");
+  EXPECT_EQ(doc.root->name(), "a");
+  EXPECT_EQ(doc.root->children().size(), 1u);
+}
+
+TEST(Xml, SingleQuotedAttributes) {
+  const Document doc = parse("<a k='v\"w'/>");
+  EXPECT_EQ(doc.root->attribute("k"), "v\"w");
+}
+
+TEST(Xml, EntityHandling) {
+  const Document doc = parse("<a k=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;</a>");
+  EXPECT_EQ(doc.root->attribute("k"), "<&>");
+  EXPECT_EQ(doc.root->text(), "\"x' A");
+}
+
+TEST(Xml, Cdata) {
+  const Document doc = parse("<a><![CDATA[<not parsed> & raw]]></a>");
+  EXPECT_EQ(doc.root->text(), "<not parsed> & raw");
+}
+
+TEST(Xml, EscapeUnescapeRoundTrip) {
+  const std::string raw = "a<b>&\"c'd";
+  EXPECT_EQ(unescape(escape(raw)), raw);
+}
+
+TEST(Xml, SerialiseParseRoundTrip) {
+  Document doc;
+  doc.root = std::make_unique<Element>("SciCumulus");
+  Element& wf = doc.root->add_child("SciCumulusWorkflow");
+  wf.set_attribute("tag", "SciDock");
+  wf.set_attribute("expdir", "/root/scidock/");
+  Element& act = wf.add_child("SciCumulusActivity");
+  act.set_attribute("tag", "babel");
+  act.set_text("a < b & c");
+  const Document back = parse(doc.to_string());
+  const Element* wf2 = back.root->child("SciCumulusWorkflow");
+  ASSERT_NE(wf2, nullptr);
+  EXPECT_EQ(wf2->attribute("tag"), "SciDock");
+  EXPECT_EQ(wf2->child("SciCumulusActivity")->text(), "a < b & c");
+}
+
+TEST(Xml, SetAttributeOverwrites) {
+  Element e("x");
+  e.set_attribute("k", "1");
+  e.set_attribute("k", "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+  EXPECT_EQ(e.attribute("k"), "2");
+}
+
+TEST(Xml, RequireAttributeThrows) {
+  Element e("x");
+  EXPECT_THROW(e.require_attribute("nope"), NotFoundError);
+}
+
+TEST(Xml, ErrorsCarryLineNumbers) {
+  try {
+    parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Xml, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("<a>"), ParseError);
+  EXPECT_THROW(parse("<a></b>"), ParseError);
+  EXPECT_THROW(parse("<a b></a>"), ParseError);
+  EXPECT_THROW(parse("<a b=unquoted/>"), ParseError);
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);  // two roots
+  EXPECT_THROW(parse("<a>&unknown;</a>"), ParseError);
+  EXPECT_THROW(parse("<a><!-- unterminated </a>"), ParseError);
+}
+
+}  // namespace
+}  // namespace scidock::xml
