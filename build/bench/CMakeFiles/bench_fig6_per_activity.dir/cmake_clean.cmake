@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_per_activity.dir/bench_fig6_per_activity.cpp.o"
+  "CMakeFiles/bench_fig6_per_activity.dir/bench_fig6_per_activity.cpp.o.d"
+  "bench_fig6_per_activity"
+  "bench_fig6_per_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_per_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tet.dir/bench_fig7_tet.cpp.o"
+  "CMakeFiles/bench_fig7_tet.dir/bench_fig7_tet.cpp.o.d"
+  "bench_fig7_tet"
+  "bench_fig7_tet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

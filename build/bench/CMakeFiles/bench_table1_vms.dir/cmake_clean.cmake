@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vms.dir/bench_table1_vms.cpp.o"
+  "CMakeFiles/bench_table1_vms.dir/bench_table1_vms.cpp.o.d"
+  "bench_table1_vms"
+  "bench_table1_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

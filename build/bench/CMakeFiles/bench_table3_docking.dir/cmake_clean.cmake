@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_docking.dir/bench_table3_docking.cpp.o"
+  "CMakeFiles/bench_table3_docking.dir/bench_table3_docking.cpp.o.d"
+  "bench_table3_docking"
+  "bench_table3_docking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_docking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/scidock_bench_common.dir/bench_common.cpp.o.d"
+  "libscidock_bench_common.a"
+  "libscidock_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

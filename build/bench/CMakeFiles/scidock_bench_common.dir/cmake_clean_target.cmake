@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscidock_bench_common.a"
+)

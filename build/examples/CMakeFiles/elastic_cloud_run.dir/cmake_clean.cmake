@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_cloud_run.dir/elastic_cloud_run.cpp.o"
+  "CMakeFiles/elastic_cloud_run.dir/elastic_cloud_run.cpp.o.d"
+  "elastic_cloud_run"
+  "elastic_cloud_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_cloud_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

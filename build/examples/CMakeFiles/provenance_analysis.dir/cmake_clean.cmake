@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_analysis.dir/provenance_analysis.cpp.o"
+  "CMakeFiles/provenance_analysis.dir/provenance_analysis.cpp.o.d"
+  "provenance_analysis"
+  "provenance_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

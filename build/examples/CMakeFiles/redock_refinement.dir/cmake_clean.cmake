@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redock_refinement.dir/redock_refinement.cpp.o"
+  "CMakeFiles/redock_refinement.dir/redock_refinement.cpp.o.d"
+  "redock_refinement"
+  "redock_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redock_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("mol")
+subdirs("dock")
+subdirs("xml")
+subdirs("sql")
+subdirs("vfs")
+subdirs("prov")
+subdirs("cloud")
+subdirs("wf")
+subdirs("data")
+subdirs("scidock")
+subdirs("tools")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cluster.cpp" "src/cloud/CMakeFiles/scidock_cloud.dir/cluster.cpp.o" "gcc" "src/cloud/CMakeFiles/scidock_cloud.dir/cluster.cpp.o.d"
+  "/root/repo/src/cloud/cost_model.cpp" "src/cloud/CMakeFiles/scidock_cloud.dir/cost_model.cpp.o" "gcc" "src/cloud/CMakeFiles/scidock_cloud.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cloud/failure.cpp" "src/cloud/CMakeFiles/scidock_cloud.dir/failure.cpp.o" "gcc" "src/cloud/CMakeFiles/scidock_cloud.dir/failure.cpp.o.d"
+  "/root/repo/src/cloud/sim.cpp" "src/cloud/CMakeFiles/scidock_cloud.dir/sim.cpp.o" "gcc" "src/cloud/CMakeFiles/scidock_cloud.dir/sim.cpp.o.d"
+  "/root/repo/src/cloud/vm.cpp" "src/cloud/CMakeFiles/scidock_cloud.dir/vm.cpp.o" "gcc" "src/cloud/CMakeFiles/scidock_cloud.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scidock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

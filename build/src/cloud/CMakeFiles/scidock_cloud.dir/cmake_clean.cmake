@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_cloud.dir/cluster.cpp.o"
+  "CMakeFiles/scidock_cloud.dir/cluster.cpp.o.d"
+  "CMakeFiles/scidock_cloud.dir/cost_model.cpp.o"
+  "CMakeFiles/scidock_cloud.dir/cost_model.cpp.o.d"
+  "CMakeFiles/scidock_cloud.dir/failure.cpp.o"
+  "CMakeFiles/scidock_cloud.dir/failure.cpp.o.d"
+  "CMakeFiles/scidock_cloud.dir/sim.cpp.o"
+  "CMakeFiles/scidock_cloud.dir/sim.cpp.o.d"
+  "CMakeFiles/scidock_cloud.dir/vm.cpp.o"
+  "CMakeFiles/scidock_cloud.dir/vm.cpp.o.d"
+  "libscidock_cloud.a"
+  "libscidock_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

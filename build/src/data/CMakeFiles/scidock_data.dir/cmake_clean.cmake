@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_data.dir/generator.cpp.o"
+  "CMakeFiles/scidock_data.dir/generator.cpp.o.d"
+  "CMakeFiles/scidock_data.dir/table2.cpp.o"
+  "CMakeFiles/scidock_data.dir/table2.cpp.o.d"
+  "libscidock_data.a"
+  "libscidock_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

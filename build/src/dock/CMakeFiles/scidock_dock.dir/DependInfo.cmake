@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dock/autodock4.cpp" "src/dock/CMakeFiles/scidock_dock.dir/autodock4.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/autodock4.cpp.o.d"
+  "/root/repo/src/dock/autogrid.cpp" "src/dock/CMakeFiles/scidock_dock.dir/autogrid.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/autogrid.cpp.o.d"
+  "/root/repo/src/dock/cluster.cpp" "src/dock/CMakeFiles/scidock_dock.dir/cluster.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/cluster.cpp.o.d"
+  "/root/repo/src/dock/conformation.cpp" "src/dock/CMakeFiles/scidock_dock.dir/conformation.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/conformation.cpp.o.d"
+  "/root/repo/src/dock/dlg.cpp" "src/dock/CMakeFiles/scidock_dock.dir/dlg.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/dlg.cpp.o.d"
+  "/root/repo/src/dock/dpf.cpp" "src/dock/CMakeFiles/scidock_dock.dir/dpf.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/dpf.cpp.o.d"
+  "/root/repo/src/dock/energy.cpp" "src/dock/CMakeFiles/scidock_dock.dir/energy.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/energy.cpp.o.d"
+  "/root/repo/src/dock/engine.cpp" "src/dock/CMakeFiles/scidock_dock.dir/engine.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/engine.cpp.o.d"
+  "/root/repo/src/dock/grid.cpp" "src/dock/CMakeFiles/scidock_dock.dir/grid.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/grid.cpp.o.d"
+  "/root/repo/src/dock/scoring.cpp" "src/dock/CMakeFiles/scidock_dock.dir/scoring.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/scoring.cpp.o.d"
+  "/root/repo/src/dock/vina.cpp" "src/dock/CMakeFiles/scidock_dock.dir/vina.cpp.o" "gcc" "src/dock/CMakeFiles/scidock_dock.dir/vina.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mol/CMakeFiles/scidock_mol.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scidock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

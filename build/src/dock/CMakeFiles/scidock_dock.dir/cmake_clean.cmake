@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_dock.dir/autodock4.cpp.o"
+  "CMakeFiles/scidock_dock.dir/autodock4.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/autogrid.cpp.o"
+  "CMakeFiles/scidock_dock.dir/autogrid.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/cluster.cpp.o"
+  "CMakeFiles/scidock_dock.dir/cluster.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/conformation.cpp.o"
+  "CMakeFiles/scidock_dock.dir/conformation.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/dlg.cpp.o"
+  "CMakeFiles/scidock_dock.dir/dlg.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/dpf.cpp.o"
+  "CMakeFiles/scidock_dock.dir/dpf.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/energy.cpp.o"
+  "CMakeFiles/scidock_dock.dir/energy.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/engine.cpp.o"
+  "CMakeFiles/scidock_dock.dir/engine.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/grid.cpp.o"
+  "CMakeFiles/scidock_dock.dir/grid.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/scoring.cpp.o"
+  "CMakeFiles/scidock_dock.dir/scoring.cpp.o.d"
+  "CMakeFiles/scidock_dock.dir/vina.cpp.o"
+  "CMakeFiles/scidock_dock.dir/vina.cpp.o.d"
+  "libscidock_dock.a"
+  "libscidock_dock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_dock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

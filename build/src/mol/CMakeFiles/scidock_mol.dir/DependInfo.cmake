@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mol/atom_typing.cpp" "src/mol/CMakeFiles/scidock_mol.dir/atom_typing.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/atom_typing.cpp.o.d"
+  "/root/repo/src/mol/charges.cpp" "src/mol/CMakeFiles/scidock_mol.dir/charges.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/charges.cpp.o.d"
+  "/root/repo/src/mol/elements.cpp" "src/mol/CMakeFiles/scidock_mol.dir/elements.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/elements.cpp.o.d"
+  "/root/repo/src/mol/geometry.cpp" "src/mol/CMakeFiles/scidock_mol.dir/geometry.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/geometry.cpp.o.d"
+  "/root/repo/src/mol/io_mol2.cpp" "src/mol/CMakeFiles/scidock_mol.dir/io_mol2.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/io_mol2.cpp.o.d"
+  "/root/repo/src/mol/io_pdb.cpp" "src/mol/CMakeFiles/scidock_mol.dir/io_pdb.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/io_pdb.cpp.o.d"
+  "/root/repo/src/mol/io_pdbqt.cpp" "src/mol/CMakeFiles/scidock_mol.dir/io_pdbqt.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/io_pdbqt.cpp.o.d"
+  "/root/repo/src/mol/io_sdf.cpp" "src/mol/CMakeFiles/scidock_mol.dir/io_sdf.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/io_sdf.cpp.o.d"
+  "/root/repo/src/mol/molecule.cpp" "src/mol/CMakeFiles/scidock_mol.dir/molecule.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/molecule.cpp.o.d"
+  "/root/repo/src/mol/prepare.cpp" "src/mol/CMakeFiles/scidock_mol.dir/prepare.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/prepare.cpp.o.d"
+  "/root/repo/src/mol/torsion.cpp" "src/mol/CMakeFiles/scidock_mol.dir/torsion.cpp.o" "gcc" "src/mol/CMakeFiles/scidock_mol.dir/torsion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scidock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_mol.dir/atom_typing.cpp.o"
+  "CMakeFiles/scidock_mol.dir/atom_typing.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/charges.cpp.o"
+  "CMakeFiles/scidock_mol.dir/charges.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/elements.cpp.o"
+  "CMakeFiles/scidock_mol.dir/elements.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/geometry.cpp.o"
+  "CMakeFiles/scidock_mol.dir/geometry.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/io_mol2.cpp.o"
+  "CMakeFiles/scidock_mol.dir/io_mol2.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/io_pdb.cpp.o"
+  "CMakeFiles/scidock_mol.dir/io_pdb.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/io_pdbqt.cpp.o"
+  "CMakeFiles/scidock_mol.dir/io_pdbqt.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/io_sdf.cpp.o"
+  "CMakeFiles/scidock_mol.dir/io_sdf.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/molecule.cpp.o"
+  "CMakeFiles/scidock_mol.dir/molecule.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/prepare.cpp.o"
+  "CMakeFiles/scidock_mol.dir/prepare.cpp.o.d"
+  "CMakeFiles/scidock_mol.dir/torsion.cpp.o"
+  "CMakeFiles/scidock_mol.dir/torsion.cpp.o.d"
+  "libscidock_mol.a"
+  "libscidock_mol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_mol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_prov.dir/prov.cpp.o"
+  "CMakeFiles/scidock_prov.dir/prov.cpp.o.d"
+  "libscidock_prov.a"
+  "libscidock_prov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_prov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_core.dir/analysis.cpp.o"
+  "CMakeFiles/scidock_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/scidock_core.dir/experiment.cpp.o"
+  "CMakeFiles/scidock_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/scidock_core.dir/scidock.cpp.o"
+  "CMakeFiles/scidock_core.dir/scidock.cpp.o.d"
+  "libscidock_core.a"
+  "libscidock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

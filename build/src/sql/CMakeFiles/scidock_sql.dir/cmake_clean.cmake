@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_sql.dir/ast.cpp.o"
+  "CMakeFiles/scidock_sql.dir/ast.cpp.o.d"
+  "CMakeFiles/scidock_sql.dir/engine.cpp.o"
+  "CMakeFiles/scidock_sql.dir/engine.cpp.o.d"
+  "CMakeFiles/scidock_sql.dir/lexer.cpp.o"
+  "CMakeFiles/scidock_sql.dir/lexer.cpp.o.d"
+  "CMakeFiles/scidock_sql.dir/parser.cpp.o"
+  "CMakeFiles/scidock_sql.dir/parser.cpp.o.d"
+  "CMakeFiles/scidock_sql.dir/table.cpp.o"
+  "CMakeFiles/scidock_sql.dir/table.cpp.o.d"
+  "CMakeFiles/scidock_sql.dir/value.cpp.o"
+  "CMakeFiles/scidock_sql.dir/value.cpp.o.d"
+  "libscidock_sql.a"
+  "libscidock_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_cli.dir/scidock_cli.cpp.o"
+  "CMakeFiles/scidock_cli.dir/scidock_cli.cpp.o.d"
+  "scidock_cli"
+  "scidock_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

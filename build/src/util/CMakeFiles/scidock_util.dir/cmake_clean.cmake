@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_util.dir/error.cpp.o"
+  "CMakeFiles/scidock_util.dir/error.cpp.o.d"
+  "CMakeFiles/scidock_util.dir/logging.cpp.o"
+  "CMakeFiles/scidock_util.dir/logging.cpp.o.d"
+  "CMakeFiles/scidock_util.dir/rng.cpp.o"
+  "CMakeFiles/scidock_util.dir/rng.cpp.o.d"
+  "CMakeFiles/scidock_util.dir/stats.cpp.o"
+  "CMakeFiles/scidock_util.dir/stats.cpp.o.d"
+  "CMakeFiles/scidock_util.dir/strings.cpp.o"
+  "CMakeFiles/scidock_util.dir/strings.cpp.o.d"
+  "CMakeFiles/scidock_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/scidock_util.dir/thread_pool.cpp.o.d"
+  "libscidock_util.a"
+  "libscidock_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

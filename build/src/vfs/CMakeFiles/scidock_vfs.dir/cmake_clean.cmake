@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_vfs.dir/vfs.cpp.o"
+  "CMakeFiles/scidock_vfs.dir/vfs.cpp.o.d"
+  "libscidock_vfs.a"
+  "libscidock_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

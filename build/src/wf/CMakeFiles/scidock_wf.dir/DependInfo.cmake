@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wf/native_executor.cpp" "src/wf/CMakeFiles/scidock_wf.dir/native_executor.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/native_executor.cpp.o.d"
+  "/root/repo/src/wf/pipeline.cpp" "src/wf/CMakeFiles/scidock_wf.dir/pipeline.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/pipeline.cpp.o.d"
+  "/root/repo/src/wf/relation.cpp" "src/wf/CMakeFiles/scidock_wf.dir/relation.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/relation.cpp.o.d"
+  "/root/repo/src/wf/relational.cpp" "src/wf/CMakeFiles/scidock_wf.dir/relational.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/relational.cpp.o.d"
+  "/root/repo/src/wf/scheduler.cpp" "src/wf/CMakeFiles/scidock_wf.dir/scheduler.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/scheduler.cpp.o.d"
+  "/root/repo/src/wf/sim_executor.cpp" "src/wf/CMakeFiles/scidock_wf.dir/sim_executor.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/sim_executor.cpp.o.d"
+  "/root/repo/src/wf/spec.cpp" "src/wf/CMakeFiles/scidock_wf.dir/spec.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/spec.cpp.o.d"
+  "/root/repo/src/wf/template.cpp" "src/wf/CMakeFiles/scidock_wf.dir/template.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/template.cpp.o.d"
+  "/root/repo/src/wf/workflow.cpp" "src/wf/CMakeFiles/scidock_wf.dir/workflow.cpp.o" "gcc" "src/wf/CMakeFiles/scidock_wf.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/scidock_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/prov/CMakeFiles/scidock_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scidock_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/scidock_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/scidock_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scidock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_wf.dir/native_executor.cpp.o"
+  "CMakeFiles/scidock_wf.dir/native_executor.cpp.o.d"
+  "CMakeFiles/scidock_wf.dir/pipeline.cpp.o"
+  "CMakeFiles/scidock_wf.dir/pipeline.cpp.o.d"
+  "CMakeFiles/scidock_wf.dir/relation.cpp.o"
+  "CMakeFiles/scidock_wf.dir/relation.cpp.o.d"
+  "CMakeFiles/scidock_wf.dir/relational.cpp.o"
+  "CMakeFiles/scidock_wf.dir/relational.cpp.o.d"
+  "CMakeFiles/scidock_wf.dir/scheduler.cpp.o"
+  "CMakeFiles/scidock_wf.dir/scheduler.cpp.o.d"
+  "CMakeFiles/scidock_wf.dir/sim_executor.cpp.o"
+  "CMakeFiles/scidock_wf.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/scidock_wf.dir/spec.cpp.o"
+  "CMakeFiles/scidock_wf.dir/spec.cpp.o.d"
+  "CMakeFiles/scidock_wf.dir/template.cpp.o"
+  "CMakeFiles/scidock_wf.dir/template.cpp.o.d"
+  "CMakeFiles/scidock_wf.dir/workflow.cpp.o"
+  "CMakeFiles/scidock_wf.dir/workflow.cpp.o.d"
+  "libscidock_wf.a"
+  "libscidock_wf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scidock_wf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_xml.dir/xml.cpp.o"
+  "CMakeFiles/scidock_xml.dir/xml.cpp.o.d"
+  "libscidock_xml.a"
+  "libscidock_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

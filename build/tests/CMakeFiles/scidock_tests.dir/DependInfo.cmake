@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/scidock_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/calibration_test.cpp" "tests/CMakeFiles/scidock_tests.dir/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/calibration_test.cpp.o.d"
+  "/root/repo/tests/cloud_test.cpp" "tests/CMakeFiles/scidock_tests.dir/cloud_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/cloud_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/scidock_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/dock_engine_test.cpp" "tests/CMakeFiles/scidock_tests.dir/dock_engine_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/dock_engine_test.cpp.o.d"
+  "/root/repo/tests/dock_scoring_test.cpp" "tests/CMakeFiles/scidock_tests.dir/dock_scoring_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/dock_scoring_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/scidock_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/scidock_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/geometry_test.cpp" "tests/CMakeFiles/scidock_tests.dir/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/geometry_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/scidock_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/mol_test.cpp" "tests/CMakeFiles/scidock_tests.dir/mol_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/mol_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/scidock_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/prov_test.cpp" "tests/CMakeFiles/scidock_tests.dir/prov_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/prov_test.cpp.o.d"
+  "/root/repo/tests/scidock_integration_test.cpp" "tests/CMakeFiles/scidock_tests.dir/scidock_integration_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/scidock_integration_test.cpp.o.d"
+  "/root/repo/tests/sql_test.cpp" "tests/CMakeFiles/scidock_tests.dir/sql_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/sql_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/scidock_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/vfs_test.cpp" "tests/CMakeFiles/scidock_tests.dir/vfs_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/vfs_test.cpp.o.d"
+  "/root/repo/tests/wf_test.cpp" "tests/CMakeFiles/scidock_tests.dir/wf_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/wf_test.cpp.o.d"
+  "/root/repo/tests/xml_test.cpp" "tests/CMakeFiles/scidock_tests.dir/xml_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scidock/CMakeFiles/scidock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/scidock_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dock/CMakeFiles/scidock_dock.dir/DependInfo.cmake"
+  "/root/repo/build/src/mol/CMakeFiles/scidock_mol.dir/DependInfo.cmake"
+  "/root/repo/build/src/wf/CMakeFiles/scidock_wf.dir/DependInfo.cmake"
+  "/root/repo/build/src/prov/CMakeFiles/scidock_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/scidock_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scidock_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/scidock_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/scidock_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scidock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
