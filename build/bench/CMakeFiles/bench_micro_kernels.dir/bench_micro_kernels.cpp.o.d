@@ -209,7 +209,11 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
- /root/repo/src/vfs/vfs.hpp /usr/include/c++/12/mutex \
+ /root/repo/src/vfs/vfs.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
@@ -218,14 +222,12 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /root/repo/src/wf/relation.hpp /root/repo/src/dock/autogrid.hpp \
  /root/repo/src/dock/grid.hpp /root/repo/src/dock/scoring.hpp \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/mol/charges.hpp \
- /root/repo/src/dock/energy.hpp /root/repo/src/dock/conformation.hpp \
- /root/repo/src/mol/torsion.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/mol/prepare.hpp /root/repo/src/mol/io_pdbqt.hpp \
- /root/repo/src/dock/vina.hpp /root/repo/src/dock/dpf.hpp \
- /root/repo/src/dock/engine.hpp /usr/include/c++/12/memory \
+ /root/repo/src/mol/charges.hpp /root/repo/src/dock/energy.hpp \
+ /root/repo/src/dock/conformation.hpp /root/repo/src/mol/torsion.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/mol/prepare.hpp \
+ /root/repo/src/mol/io_pdbqt.hpp /root/repo/src/dock/vina.hpp \
+ /root/repo/src/dock/dpf.hpp /root/repo/src/dock/engine.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -256,6 +258,5 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /root/repo/src/sql/ast.hpp /root/repo/src/sql/value.hpp \
  /usr/include/c++/12/variant /root/repo/src/sql/table.hpp \
  /root/repo/src/scidock/scidock.hpp /root/repo/src/wf/pipeline.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/wf/workflow.hpp /root/repo/src/wf/spec.hpp \
  /root/repo/src/xml/xml.hpp

@@ -13,6 +13,7 @@ subdirs("vfs")
 subdirs("prov")
 subdirs("cloud")
 subdirs("wf")
+subdirs("chaos")
 subdirs("data")
 subdirs("scidock")
 subdirs("tools")

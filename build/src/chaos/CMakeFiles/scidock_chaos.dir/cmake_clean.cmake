@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_chaos.dir/chaos.cpp.o"
+  "CMakeFiles/scidock_chaos.dir/chaos.cpp.o.d"
+  "CMakeFiles/scidock_chaos.dir/invariants.cpp.o"
+  "CMakeFiles/scidock_chaos.dir/invariants.cpp.o.d"
+  "libscidock_chaos.a"
+  "libscidock_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscidock_chaos.a"
+)

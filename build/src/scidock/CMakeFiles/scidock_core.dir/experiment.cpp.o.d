@@ -232,27 +232,34 @@ src/scidock/CMakeFiles/scidock_core.dir/experiment.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/vfs/vfs.hpp \
- /root/repo/src/wf/relation.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/dock/dpf.hpp \
- /root/repo/src/dock/grid.hpp /root/repo/src/wf/pipeline.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/rng.hpp \
- /root/repo/src/wf/workflow.hpp /root/repo/src/wf/native_executor.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/wf/sim_executor.hpp \
- /root/repo/src/cloud/cluster.hpp /root/repo/src/cloud/sim.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/wf/relation.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/dock/dpf.hpp \
+ /root/repo/src/dock/grid.hpp /root/repo/src/wf/pipeline.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/wf/workflow.hpp \
+ /root/repo/src/wf/native_executor.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/cloud/vm.hpp \
- /root/repo/src/cloud/cost_model.hpp /root/repo/src/cloud/failure.hpp \
- /root/repo/src/wf/scheduler.hpp /root/repo/src/data/table2.hpp \
- /root/repo/src/util/error.hpp
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/wf/sim_executor.hpp \
+ /root/repo/src/cloud/cluster.hpp /root/repo/src/cloud/sim.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/cloud/vm.hpp /root/repo/src/cloud/cost_model.hpp \
+ /root/repo/src/cloud/failure.hpp /root/repo/src/wf/scheduler.hpp \
+ /root/repo/src/data/table2.hpp /root/repo/src/util/error.hpp

@@ -226,33 +226,31 @@ src/scidock/CMakeFiles/scidock_core.dir/scidock.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/vfs/vfs.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/wf/relation.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/dock/dpf.hpp \
- /root/repo/src/dock/grid.hpp /root/repo/src/wf/pipeline.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/prov/prov.hpp \
- /root/repo/src/sql/engine.hpp /root/repo/src/sql/ast.hpp \
- /root/repo/src/sql/value.hpp /usr/include/c++/12/variant \
- /root/repo/src/sql/table.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/wf/workflow.hpp /root/repo/src/dock/autodock4.hpp \
- /root/repo/src/dock/engine.hpp /root/repo/src/mol/prepare.hpp \
- /root/repo/src/mol/io_pdbqt.hpp /root/repo/src/mol/torsion.hpp \
- /root/repo/src/dock/autogrid.hpp /root/repo/src/dock/scoring.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/dock/dlg.hpp /root/repo/src/dock/vina.hpp \
- /root/repo/src/mol/io_mol2.hpp /root/repo/src/mol/io_pdb.hpp \
- /root/repo/src/mol/io_sdf.hpp /root/repo/src/util/error.hpp \
- /root/repo/src/util/strings.hpp
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/wf/relation.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/dock/dpf.hpp \
+ /root/repo/src/dock/grid.hpp /root/repo/src/wf/pipeline.hpp \
+ /root/repo/src/prov/prov.hpp /root/repo/src/sql/engine.hpp \
+ /root/repo/src/sql/ast.hpp /root/repo/src/sql/value.hpp \
+ /usr/include/c++/12/variant /root/repo/src/sql/table.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/wf/workflow.hpp \
+ /root/repo/src/dock/autodock4.hpp /root/repo/src/dock/engine.hpp \
+ /root/repo/src/mol/prepare.hpp /root/repo/src/mol/io_pdbqt.hpp \
+ /root/repo/src/mol/torsion.hpp /root/repo/src/dock/autogrid.hpp \
+ /root/repo/src/dock/scoring.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/dock/dlg.hpp \
+ /root/repo/src/dock/vina.hpp /root/repo/src/mol/io_mol2.hpp \
+ /root/repo/src/mol/io_pdb.hpp /root/repo/src/mol/io_sdf.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/util/strings.hpp

@@ -220,14 +220,7 @@ src/wf/CMakeFiles/scidock_wf.dir/native_executor.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/sql/value.hpp /usr/include/c++/12/variant \
  /root/repo/src/sql/table.hpp /root/repo/src/util/stats.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/vfs/vfs.hpp \
- /root/repo/src/wf/pipeline.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/wf/relation.hpp /root/repo/src/wf/workflow.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/error.hpp \
- /root/repo/src/util/logging.hpp /root/repo/src/util/strings.hpp \
- /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/util/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -237,4 +230,10 @@ src/wf/CMakeFiles/scidock_wf.dir/native_executor.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/vfs/vfs.hpp \
+ /root/repo/src/wf/pipeline.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/wf/relation.hpp /root/repo/src/wf/workflow.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/error.hpp \
+ /root/repo/src/util/logging.hpp /root/repo/src/util/strings.hpp

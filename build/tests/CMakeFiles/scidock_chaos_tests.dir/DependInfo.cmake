@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/scidock_chaos_tests.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_chaos_tests.dir/chaos_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chaos/CMakeFiles/scidock_chaos.dir/DependInfo.cmake"
+  "/root/repo/build/src/wf/CMakeFiles/scidock_wf.dir/DependInfo.cmake"
+  "/root/repo/build/src/prov/CMakeFiles/scidock_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/scidock_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scidock_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/scidock_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scidock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/scidock_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidock_chaos_tests.dir/chaos_test.cpp.o"
+  "CMakeFiles/scidock_chaos_tests.dir/chaos_test.cpp.o.d"
+  "scidock_chaos_tests"
+  "scidock_chaos_tests.pdb"
+  "scidock_chaos_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidock_chaos_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

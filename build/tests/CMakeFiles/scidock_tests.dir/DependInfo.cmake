@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/prov_test.cpp" "tests/CMakeFiles/scidock_tests.dir/prov_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/prov_test.cpp.o.d"
   "/root/repo/tests/scidock_integration_test.cpp" "tests/CMakeFiles/scidock_tests.dir/scidock_integration_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/scidock_integration_test.cpp.o.d"
   "/root/repo/tests/sql_test.cpp" "tests/CMakeFiles/scidock_tests.dir/sql_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/sql_test.cpp.o.d"
+  "/root/repo/tests/thread_pool_stress_test.cpp" "tests/CMakeFiles/scidock_tests.dir/thread_pool_stress_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/thread_pool_stress_test.cpp.o.d"
   "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/scidock_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/util_test.cpp.o.d"
   "/root/repo/tests/vfs_test.cpp" "tests/CMakeFiles/scidock_tests.dir/vfs_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/vfs_test.cpp.o.d"
   "/root/repo/tests/wf_test.cpp" "tests/CMakeFiles/scidock_tests.dir/wf_test.cpp.o" "gcc" "tests/CMakeFiles/scidock_tests.dir/wf_test.cpp.o.d"

@@ -328,9 +328,18 @@ tests/CMakeFiles/scidock_tests.dir/calibration_test.cpp.o: \
  /root/repo/src/dock/dpf.hpp /root/repo/src/dock/grid.hpp \
  /root/repo/src/wf/pipeline.hpp /root/repo/src/wf/workflow.hpp \
  /root/repo/src/wf/native_executor.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/wf/sim_executor.hpp /root/repo/src/cloud/cluster.hpp \
- /root/repo/src/cloud/sim.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/wf/sim_executor.hpp \
+ /root/repo/src/cloud/cluster.hpp /root/repo/src/cloud/sim.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/cloud/vm.hpp /root/repo/src/cloud/failure.hpp \
  /root/repo/src/wf/scheduler.hpp

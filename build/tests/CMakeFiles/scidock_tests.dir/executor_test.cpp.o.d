@@ -293,18 +293,30 @@ tests/CMakeFiles/scidock_tests.dir/executor_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/prov/prov.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sql/engine.hpp \
  /root/repo/src/sql/ast.hpp /root/repo/src/sql/value.hpp \
  /root/repo/src/sql/table.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/wf/native_executor.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/vfs/vfs.hpp /root/repo/src/wf/pipeline.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/wf/relation.hpp \
- /root/repo/src/wf/workflow.hpp /root/repo/src/wf/sim_executor.hpp \
- /root/repo/src/cloud/cluster.hpp /root/repo/src/cloud/sim.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/vfs/vfs.hpp \
+ /root/repo/src/wf/pipeline.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/wf/relation.hpp /root/repo/src/wf/workflow.hpp \
+ /root/repo/src/wf/sim_executor.hpp /root/repo/src/cloud/cluster.hpp \
+ /root/repo/src/cloud/sim.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/cloud/vm.hpp \
  /root/repo/src/cloud/cost_model.hpp /root/repo/src/cloud/failure.hpp \
  /root/repo/src/wf/scheduler.hpp

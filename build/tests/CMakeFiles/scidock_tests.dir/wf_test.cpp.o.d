@@ -293,6 +293,9 @@ tests/CMakeFiles/scidock_tests.dir/wf_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/cloud/vm.hpp /root/repo/src/scidock/scidock.hpp \
  /root/repo/src/data/generator.hpp /root/repo/src/mol/molecule.hpp \
  /root/repo/src/mol/atom_typing.hpp /root/repo/src/mol/elements.hpp \

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file invariants.hpp
+/// Cross-executor invariants checked after any (chaotic or quiet) run.
+///
+/// Both executors' reports normalise into a RunSummary; the checker then
+/// validates the paper's fault-tolerance contract:
+///   (a) conservation — every input tuple is either completed or lost,
+///       and nothing is lost while the re-execution budget still had
+///       headroom (PAPER.md SS IV.B: failed activations are re-executed);
+///   (b) provenance consistency — exactly one FINISHED hactivation row
+///       per completed tuple-activity, attempt numbers 1..k consecutive
+///       with the FINISHED attempt after all FAILED/ABORTED ones,
+///       monotone timestamps, and status counts matching the report;
+///   (c) replay — identical seeds reproduce byte-identical summaries.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "prov/prov.hpp"
+#include "wf/native_executor.hpp"
+#include "wf/sim_executor.hpp"
+
+namespace scidock::chaos {
+
+/// Executor-neutral view of one run. `digest` is a canonical
+/// serialisation of everything that must be reproducible from the seed
+/// (wall-clock timings are excluded for the native executor).
+struct RunSummary {
+  std::string executor;            ///< "native" | "sim"
+  std::size_t input_tuples = 0;
+  long long activations_finished = 0;
+  long long activations_failed = 0;
+  long long activations_hung = 0;
+  long long tuples_completed = 0;
+  long long tuples_lost = 0;
+  int attempt_budget = 0;          ///< max attempts per stage
+  int max_observed_attempt = 0;    ///< highest attempt number that ran
+  /// Losses that are by design, not re-execution bugs (pre-aborted
+  /// hazards such as the Hg receptors); conservation tolerates these.
+  long long expected_hazard_losses = 0;
+  std::string digest;
+};
+
+/// Summaries. The native digest covers counters plus the sorted output
+/// relation; the sim digest additionally covers TET and the full
+/// activation record list (the sim is deterministic to the last double).
+RunSummary summarize(const wf::SimReport& report,
+                     const wf::SimExecutorOptions& options,
+                     std::size_t input_tuples);
+RunSummary summarize(const wf::NativeReport& report,
+                     const wf::NativeExecutorOptions& options,
+                     std::size_t input_tuples);
+
+/// Accumulates human-readable violations across any number of checks.
+class InvariantChecker {
+ public:
+  /// Invariant (a). Assumes a cardinality-preserving (Map-only) pipeline.
+  bool check_conservation(const RunSummary& summary);
+
+  /// Invariant (b), against the store the run recorded into. `chain_length`
+  /// is the number of stages every tuple traverses (Map-only pipeline).
+  bool check_provenance(const RunSummary& summary,
+                        prov::ProvenanceStore& store,
+                        const std::string& workflow_tag, int chain_length);
+
+  /// Invariant (c): two same-seed runs must have identical digests.
+  bool check_replay(const RunSummary& first, const RunSummary& second);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// All violations joined for test failure messages.
+  std::string to_string() const;
+
+ private:
+  bool fail(std::string message);
+
+  std::vector<std::string> violations_;
+};
+
+}  // namespace scidock::chaos

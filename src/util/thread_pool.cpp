@@ -14,6 +14,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
+void ThreadPool::set_task_hook(TaskHook hook) {
+  std::lock_guard lock(mutex_);
+  task_hook_ = std::move(hook);
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard lock(mutex_);

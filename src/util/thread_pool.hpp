@@ -22,6 +22,12 @@ namespace scidock {
 
 class ThreadPool {
  public:
+  /// Runs at the start of every task submitted after installation, inside
+  /// the task's own future/exception boundary: a throwing hook surfaces
+  /// through the task's future exactly like a throwing task body. Used by
+  /// the chaos harness to inject scheduling delays and task exceptions.
+  using TaskHook = std::function<void()>;
+
   /// Spawns `threads` workers (at least one).
   explicit ThreadPool(std::size_t threads);
 
@@ -33,11 +39,24 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Install (or clear, with an empty function) the per-task hook.
+  /// Applies to tasks submitted after the call.
+  void set_task_hook(TaskHook hook);
+
   /// Enqueue a task; the future reports its result or exception.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    TaskHook hook;
+    {
+      std::lock_guard lock(mutex_);
+      hook = task_hook_;
+    }
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [hook = std::move(hook), fn = std::forward<F>(fn)]() mutable -> R {
+          if (hook) hook();
+          return fn();
+        });
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
@@ -58,6 +77,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  TaskHook task_hook_;
   bool stop_ = false;
 };
 

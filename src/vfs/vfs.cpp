@@ -16,9 +16,20 @@ std::string SharedFileSystem::normalize(std::string_view path) {
   return out;
 }
 
+void SharedFileSystem::set_fault_hook(FaultHook hook) {
+  std::lock_guard lock(mutex_);
+  fault_hook_ = std::move(hook);
+}
+
+SharedFileSystem::FaultHook SharedFileSystem::fault_hook_snapshot() const {
+  std::lock_guard lock(mutex_);
+  return fault_hook_;
+}
+
 void SharedFileSystem::write(std::string_view path, std::string content,
                              double now, std::string_view producer) {
   const std::string key = normalize(path);
+  if (const FaultHook hook = fault_hook_snapshot()) hook(FileOp::Write, key);
   std::lock_guard lock(mutex_);
   bytes_written_ += content.size();
   const auto it = std::lower_bound(
@@ -39,6 +50,7 @@ void SharedFileSystem::write(std::string_view path, std::string content,
 
 std::string SharedFileSystem::read(std::string_view path) const {
   const std::string key = normalize(path);
+  if (const FaultHook hook = fault_hook_snapshot()) hook(FileOp::Read, key);
   std::lock_guard lock(mutex_);
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), key,

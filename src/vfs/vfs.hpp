@@ -8,6 +8,7 @@
 /// file metadata feeds the provenance hfile table (Query 2).
 
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -38,10 +39,22 @@ struct LatencyModel {
   }
 };
 
+/// Operation kind passed to a FaultHook.
+enum class FileOp { Read, Write };
+
 /// Thread-safe in-memory filesystem.
 class SharedFileSystem {
  public:
+  /// Invoked at the start of read()/write() with the normalised path,
+  /// outside the filesystem lock. A throwing hook makes the operation
+  /// fail with that exception; a sleeping hook models a latency spike.
+  /// Installed by the chaos harness; must be thread-safe.
+  using FaultHook = std::function<void(FileOp, const std::string& path)>;
+
   explicit SharedFileSystem(LatencyModel latency = {}) : latency_(latency) {}
+
+  /// Install (or clear, with an empty function) the fault hook.
+  void set_fault_hook(FaultHook hook);
 
   /// Create or replace. `now` stamps mtime (simulation seconds).
   void write(std::string_view path, std::string content, double now = 0.0,
@@ -78,7 +91,12 @@ class SharedFileSystem {
   /// Normalise: ensure a single leading '/', collapse duplicate slashes.
   static std::string normalize(std::string_view path);
 
+  /// Copy the hook out under the lock so a concurrent set_fault_hook
+  /// cannot race the invocation.
+  FaultHook fault_hook_snapshot() const;
+
   LatencyModel latency_;
+  FaultHook fault_hook_;
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;  ///< sorted by path for cheap prefix listing
   std::size_t bytes_written_ = 0;

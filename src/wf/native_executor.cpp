@@ -92,6 +92,35 @@ NativeReport NativeExecutor::run(const Relation& input,
               // A broken monitor must not take the workflow down.
             }
           };
+          if (options_.fault_injector) {
+            const InjectedFault fault =
+                options_.fault_injector(st.tag, in_tuple, attempt);
+            if (fault == InjectedFault::Hang) {
+              // Looping state: the watchdog aborts the activation. The
+              // attempt is burned and the abort is visible in provenance
+              // (the record the paper's authors used to diagnose Hg hangs).
+              prov_.end_activation(ctx.taskid, wall_now() - t0,
+                                   prov::kStatusAborted, 1, attempt);
+              last_error = "injected hang at " + st.tag + " (watchdog abort)";
+              {
+                std::lock_guard lock(report_mutex);
+                ++report.activations_hung;
+              }
+              notify(false);
+              continue;
+            }
+            if (fault == InjectedFault::Failure) {
+              prov_.end_activation(ctx.taskid, wall_now() - t0,
+                                   prov::kStatusFailed, 1, attempt);
+              last_error = "injected failure at " + st.tag;
+              {
+                std::lock_guard lock(report_mutex);
+                ++report.activations_failed;
+              }
+              notify(false);
+              continue;
+            }
+          }
           try {
             std::vector<Tuple> out = st.impl(in_tuple, ctx);
             prov_.end_activation(ctx.taskid, wall_now() - t0,
@@ -139,6 +168,7 @@ NativeReport NativeExecutor::run(const Relation& input,
 
   if (options_.threads > 1) {
     ThreadPool pool(static_cast<std::size_t>(options_.threads));
+    if (options_.pool_task_hook) pool.set_task_hook(options_.pool_task_hook);
     pool.parallel_for(input.size(), process_tuple);
   } else {
     for (std::size_t i = 0; i < input.size(); ++i) process_tuple(i);

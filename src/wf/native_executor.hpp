@@ -13,6 +13,7 @@
 
 #include "prov/prov.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "vfs/vfs.hpp"
 #include "wf/pipeline.hpp"
 
@@ -32,6 +33,18 @@ struct ActivationEvent {
 };
 using MonitorFn = std::function<void(const ActivationEvent&)>;
 
+/// Verdict of a fault injector for one activation attempt, mirroring
+/// cloud::ActivationOutcome: Failure crashes the attempt (status FAILED),
+/// Hang models the looping state killed by the watchdog (status ABORTED).
+/// Both burn one attempt from the re-execution budget.
+enum class InjectedFault { None, Failure, Hang };
+
+/// Decides, per activation attempt, whether the chaos layer makes it
+/// fail. Must be deterministic in (tag, tuple, attempt) and thread-safe:
+/// it is called concurrently and replays must reproduce the run.
+using FaultInjectorFn = std::function<InjectedFault(
+    const std::string& activity_tag, const Tuple& tuple, int attempt)>;
+
 struct NativeExecutorOptions {
   int threads = 1;
   int max_attempts = 3;      ///< per-stage re-execution budget
@@ -40,6 +53,10 @@ struct NativeExecutorOptions {
   /// Optional steering monitor; invoked from worker threads (must be
   /// thread-safe). Exceptions from the monitor are swallowed.
   MonitorFn monitor;
+  /// Chaos hooks: per-attempt fault verdicts, and a hook installed on the
+  /// internal thread pool (scheduling-delay injection). Both optional.
+  FaultInjectorFn fault_injector;
+  ThreadPool::TaskHook pool_task_hook;
 };
 
 struct NativeReport {
@@ -47,6 +64,7 @@ struct NativeReport {
   double wall_seconds = 0.0;
   long long activations_finished = 0;
   long long activations_failed = 0;    ///< failed attempts (re-executed)
+  long long activations_hung = 0;      ///< injected hangs aborted by watchdog
   long long tuples_lost = 0;           ///< exhausted their attempt budget
   std::map<std::string, RunningStats> per_activity_seconds;
   std::vector<std::string> failure_messages;  ///< first error per lost tuple

@@ -140,6 +140,10 @@ SimReport SimulatedExecutor::run(const Relation& input,
     act_to_tuple.erase(act_id);
     TupleState& ts = tuples[tuple_idx];
     const std::string tag = ts.chain[ts.stage];
+    // The attempt number of the activation that just completed; captured
+    // before the counter is reset (success) or advanced (failure) so
+    // provenance and the report see the real 1-based attempt.
+    const int attempt = ts.attempts_at_stage + 1;
     --busy;
     ++free_slots[vm_id];
 
@@ -185,13 +189,11 @@ SimReport SimulatedExecutor::run(const Relation& input,
           actids[tag], wkfid, started, vm_id,
           tuple_of(tuple_idx).get("pair").value_or(""));
       prov->end_activation(taskid, sim.now(), status,
-                           status == prov::kStatusFinished ? 0 : 1,
-                           ts.attempts_at_stage + 1);
+                           status == prov::kStatusFinished ? 0 : 1, attempt);
     }
     if (report.records.size() < 500000) {
       report.records.push_back(SimActivationRecord{
-          tag, tuple_idx, started, sim.now(), vm_id, ts.attempts_at_stage + 1,
-          status});
+          tag, tuple_idx, started, sim.now(), vm_id, attempt, status});
     }
     dispatch();
   };

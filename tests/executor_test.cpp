@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <set>
+#include <utility>
 
 #include "prov/prov.hpp"
 #include "util/error.hpp"
@@ -16,13 +19,14 @@ namespace scidock::wf {
 namespace {
 
 Relation numbers(int n) {
-  Relation rel{{"id", "engine", "workload", "hg"}};
+  Relation rel{{"id", "engine", "workload", "hg", "pair"}};
   for (int i = 0; i < n; ++i) {
     Tuple t;
     t.set("id", std::to_string(i));
     t.set("engine", i % 2 ? "vina" : "ad4");
     t.set("workload", "1.0");
     t.set("hg", "0");
+    t.set("pair", "p" + std::to_string(i));
     rel.add(std::move(t));
   }
   return rel;
@@ -325,6 +329,78 @@ TEST(SimulatedExecutor, ProvenanceMatchesReport) {
   // Workflow row closed with the TET.
   const auto wf = store.query("SELECT endtime FROM hworkflow WHERE tag = 'toy'");
   EXPECT_DOUBLE_EQ(wf.rows[0][0].as_double(), report.total_execution_time_s);
+}
+
+TEST(SimulatedExecutor, AttemptNumbersAreOneBasedAndConsecutive) {
+  // Regression: the executor used to stamp provenance and records with
+  // the tuple's attempt counter *after* mutating it — FINISHED rows
+  // always claimed attempt 1 and the first FAILED attempt claimed 2.
+  const Pipeline p = toy_pipeline();
+  prov::ProvenanceStore store;
+  SimExecutorOptions opts = quiet_sim(4);
+  opts.failure.failure_probability = 0.4;
+  opts.failure.max_attempts = 8;
+  const SimReport report =
+      SimulatedExecutor(p, toy_cost_model(), opts).run(numbers(60), &store, "att");
+  ASSERT_GT(report.activations_failed, 0);
+
+  // The first attempt of a failing activation is attempt 1, not 2.
+  const auto min_failed = store.query(
+      "SELECT min(attempts) FROM hactivation WHERE status = 'FAILED'");
+  EXPECT_EQ(min_failed.rows[0][0].as_int(), 1);
+  // A FINISHED row after n failures carries attempt n + 1: per workload
+  // and activity, FAILED rows number 1..n and FINISHED closes at n + 1.
+  sql::Table& t = store.database().table("hactivation");
+  const auto c_act = static_cast<std::size_t>(t.column_index("actid"));
+  const auto c_status = static_cast<std::size_t>(t.column_index("status"));
+  const auto c_attempts = static_cast<std::size_t>(t.column_index("attempts"));
+  const auto c_workload = static_cast<std::size_t>(t.column_index("workload"));
+  std::map<std::pair<long long, std::string>, std::pair<int, int>> sites;
+  for (const sql::Row& row : t.rows()) {
+    auto& [fails, finish_attempt] =
+        sites[{row[c_act].as_int(), row[c_workload].as_string()}];
+    if (row[c_status].as_string() == "FAILED") ++fails;
+    else finish_attempt = static_cast<int>(row[c_attempts].as_int());
+  }
+  for (const auto& [site, counts] : sites) {
+    if (counts.second == 0) {
+      // Lost tuple: every attempt failed, exhausting the budget.
+      EXPECT_EQ(counts.first, opts.failure.max_attempts);
+      continue;
+    }
+    EXPECT_EQ(counts.second, counts.first + 1)
+        << "workload " << site.second << ": FINISHED attempt should follow "
+        << counts.first << " failures";
+  }
+  // The in-memory records agree with provenance.
+  int min_failed_record = 1000;
+  for (const SimActivationRecord& r : report.records) {
+    if (r.status == "FAILED") min_failed_record = std::min(min_failed_record, r.attempt);
+  }
+  EXPECT_EQ(min_failed_record, 1);
+}
+
+TEST(NativeExecutor, InjectedHangsAreAbortedAndRetried) {
+  const Pipeline p = toy_pipeline();
+  vfs::SharedFileSystem fs;
+  prov::ProvenanceStore store;
+  NativeExecutorOptions opts;
+  opts.max_attempts = 3;
+  // First attempt of stage "double" hangs for every tuple; retries run.
+  opts.fault_injector = [](const std::string& tag, const Tuple&, int attempt) {
+    return tag == "double" && attempt == 1 ? InjectedFault::Hang
+                                           : InjectedFault::None;
+  };
+  NativeExecutor exec(p, fs, store, opts);
+  const NativeReport report = exec.run(numbers(5), "hangs");
+  EXPECT_EQ(report.output.size(), 5u);  // all recovered on attempt 2
+  EXPECT_EQ(report.activations_hung, 5);
+  EXPECT_EQ(report.activations_failed, 0);
+  EXPECT_EQ(report.tuples_lost, 0);
+  // The aborts are visible in provenance — the paper's diagnosis path.
+  const auto aborted = store.query(
+      "SELECT count(*) FROM hactivation WHERE status = 'ABORTED'");
+  EXPECT_EQ(aborted.rows[0][0].as_int(), 5);
 }
 
 TEST(SimulatedExecutor, UnknownStageCostRejected) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "cloud/vm.hpp"
 #include "scidock/scidock.hpp"
 #include "util/error.hpp"
@@ -365,6 +368,86 @@ TEST(Scheduler, Factory) {
   EXPECT_EQ(make_scheduler("greedy-cost")->name(), "greedy-cost");
   EXPECT_EQ(make_scheduler("fifo")->name(), "fifo");
   EXPECT_THROW(make_scheduler("quantum"), NotFoundError);
+}
+
+// Property tests: randomized queues (deterministic Rng) against both
+// policies. pick() must stay in bounds, and queued re-executions
+// (attempts > 0) must never starve behind fresh activations.
+
+std::vector<PendingActivation> random_queue(Rng& rng, long long& next_id,
+                                            std::size_t size) {
+  std::vector<PendingActivation> queue;
+  queue.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    PendingActivation pa;
+    pa.id = next_id++;
+    pa.activity_tag = "act-" + std::to_string(rng.below(4));
+    pa.expected_cost_s = rng.uniform(0.1, 200.0);
+    pa.attempts = rng.chance(0.25) ? static_cast<int>(1 + rng.below(4)) : 0;
+    queue.push_back(std::move(pa));
+  }
+  return queue;
+}
+
+TEST(SchedulerProperty, PickAlwaysInBoundsAndPrefersRetries) {
+  Rng rng(20240); // any seed; the property must hold for all of them
+  long long next_id = 1;
+  const auto policies = {std::string("greedy-cost"), std::string("fifo")};
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto queue = random_queue(rng, next_id, 1 + rng.below(20));
+    const cloud::VmInstance vm = vm_with_slowdown(rng.uniform(0.6, 1.8));
+    for (const std::string& policy : policies) {
+      const auto sched = make_scheduler(policy);
+      const std::size_t pick = sched->pick(queue, vm);
+      ASSERT_LT(pick, queue.size()) << policy << " iter " << iter;
+      if (policy == "greedy-cost") {
+        // If any re-execution is queued, greedy must take one of them.
+        const bool any_retry = std::any_of(
+            queue.begin(), queue.end(),
+            [](const PendingActivation& pa) { return pa.attempts > 0; });
+        if (any_retry) {
+          EXPECT_GT(queue[pick].attempts, 0) << "iter " << iter;
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedulerProperty, RetriesNeverStarveUnderArrivals) {
+  // Drain a queue one pick at a time while fresh activations keep
+  // arriving at the tail. Every re-execution initially present must be
+  // dispatched within the initial queue length picks (FIFO bound; greedy
+  // is stricter and drains retries first).
+  for (const std::string policy : {"greedy-cost", "fifo"}) {
+    Rng rng(7 + (policy == "fifo" ? 1 : 0));
+    long long next_id = 1;
+    for (int round = 0; round < 20; ++round) {
+      auto queue = random_queue(rng, next_id, 12);
+      const std::size_t bound = queue.size();
+      std::vector<long long> retry_ids;
+      for (const auto& pa : queue) {
+        if (pa.attempts > 0) retry_ids.push_back(pa.id);
+      }
+      const auto sched = make_scheduler(policy);
+      const cloud::VmInstance vm = vm_with_slowdown(1.0);
+      std::size_t drained = 0;
+      while (!retry_ids.empty()) {
+        ASSERT_LE(++drained, bound)
+            << policy << ": retries starved after " << bound << " picks";
+        const std::size_t pick = sched->pick(queue, vm);
+        ASSERT_LT(pick, queue.size());
+        std::erase(retry_ids, queue[pick].id);
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+        // Fresh (attempts == 0) work keeps arriving behind the retries.
+        PendingActivation fresh;
+        fresh.id = next_id++;
+        fresh.activity_tag = "fresh";
+        fresh.expected_cost_s = rng.uniform(0.1, 200.0);
+        fresh.attempts = 0;
+        queue.push_back(std::move(fresh));
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------- fleet
