@@ -34,11 +34,7 @@ int main() {
   std::printf("### forensics — activations that needed re-execution, "
               "grouped by activity\n\n");
   std::printf("%s\n",
-              store
-                  .query("SELECT a.tag, count(*) "
-                         "FROM hactivity a, hactivation t "
-                         "WHERE a.actid = t.actid AND t.status = 'FAILED' "
-                         "GROUP BY a.tag ORDER BY count(*) DESC")
+              store.query(core::forensics_failed_by_activity())
                   .to_text()
                   .c_str());
 
@@ -46,22 +42,12 @@ int main() {
   // specific receptor pairs — exactly how the authors found the Hg bug.
   std::printf("### forensics — the 'looping state' pairs (Hg receptors)\n\n");
   std::printf("%s\n",
-              store
-                  .query("SELECT t.workload, count(*) "
-                         "FROM hactivation t WHERE t.status = 'ABORTED' "
-                         "GROUP BY t.workload ORDER BY count(*) DESC LIMIT 8")
-                  .to_text()
-                  .c_str());
+              store.query(core::forensics_hg_aborts()).to_text().c_str());
 
   // --- steering-style live view -------------------------------------
   std::printf("### steering — longest activations of the run\n\n");
   std::printf("%s\n",
-              store
-                  .query("SELECT a.tag, t.workload, "
-                         "extract('epoch' from (t.endtime - t.starttime)) dur "
-                         "FROM hactivity a, hactivation t "
-                         "WHERE a.actid = t.actid AND t.status = 'FINISHED' "
-                         "ORDER BY dur DESC LIMIT 5")
+              store.query(core::steering_longest_activations())
                   .to_text()
                   .c_str());
 

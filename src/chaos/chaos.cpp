@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace scidock::chaos {
 
@@ -70,10 +70,10 @@ ChaosProfile chaos_profile_heavy() {
 }
 
 struct ChaosEngine::State {
-  std::mutex mutex;
+  Mutex mutex;
   /// Accesses so far per (op, path); a faulty path fails while this is
   /// below its drawn transient budget, then recovers.
-  std::map<std::string, int> transient_used;
+  std::map<std::string, int> transient_used SCIDOCK_GUARDED_BY(mutex);
   std::atomic<long long> vfs_faults{0};
   std::atomic<long long> pool_delays{0};
   std::atomic<long long> pool_exceptions{0};
@@ -126,7 +126,7 @@ vfs::SharedFileSystem::FaultHook ChaosEngine::vfs_hook() const {
     }
     if (budget == 0) return;
     {
-      std::lock_guard lock(state->mutex);
+      MutexLock lock(state->mutex);
       int& used = state->transient_used[(is_read ? "R:" : "W:") + path];
       if (used >= budget) return;  // path has recovered
       ++used;

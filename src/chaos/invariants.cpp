@@ -119,46 +119,7 @@ bool InvariantChecker::check_provenance(const RunSummary& summary,
   bool ok = true;
   const std::string who = "[" + summary.executor + "/" + workflow_tag + "]";
 
-  // ---- locate the workflow row ----
-  sql::Database& db = store.database();
-  const sql::Table& hworkflow = db.table("hworkflow");
-  const auto w_id = static_cast<std::size_t>(hworkflow.column_index("wkfid"));
-  const auto w_tag = static_cast<std::size_t>(hworkflow.column_index("tag"));
-  const auto w_end =
-      static_cast<std::size_t>(hworkflow.column_index("endtime"));
-  long long wkfid = -1;
-  double workflow_end = 0.0;
-  for (const sql::Row& row : hworkflow.rows()) {
-    if (row[w_tag].as_string() == workflow_tag) {
-      wkfid = row[w_id].as_int();
-      if (row[w_end].is_null()) {
-        ok = fail(who + " provenance: workflow row was never closed");
-      } else {
-        workflow_end = row[w_end].as_double();
-      }
-    }
-  }
-  if (wkfid < 0) {
-    return fail(who + " provenance: no hworkflow row for tag");
-  }
-
-  // ---- scan activations ----
-  const sql::Table& hactivation = db.table("hactivation");
-  const auto c_wkf =
-      static_cast<std::size_t>(hactivation.column_index("wkfid"));
-  const auto c_act =
-      static_cast<std::size_t>(hactivation.column_index("actid"));
-  const auto c_start =
-      static_cast<std::size_t>(hactivation.column_index("starttime"));
-  const auto c_end =
-      static_cast<std::size_t>(hactivation.column_index("endtime"));
-  const auto c_status =
-      static_cast<std::size_t>(hactivation.column_index("status"));
-  const auto c_attempts =
-      static_cast<std::size_t>(hactivation.column_index("attempts"));
-  const auto c_workload =
-      static_cast<std::size_t>(hactivation.column_index("workload"));
-
+  // ---- scan the store under its lock (activations may still be live) ----
   struct Attempt {
     int number;
     std::string status;
@@ -166,35 +127,77 @@ bool InvariantChecker::check_provenance(const RunSummary& summary,
     double end;
   };
   std::map<std::pair<long long, std::string>, std::vector<Attempt>> sites;
+  long long wkfid = -1;
+  double workflow_end = 0.0;
   long long finished = 0, failed = 0, aborted = 0;
   int max_attempt = 0;
-  for (const sql::Row& row : hactivation.rows()) {
-    if (row[c_wkf].as_int() != wkfid) continue;
-    const std::string& status = row[c_status].as_string();
-    if (status == prov::kStatusRunning || row[c_end].is_null()) {
-      ok = fail(who + " provenance: activation left open (status " + status +
-                ")");
-      continue;
+  store.with_database([&](sql::Database& db) {
+    // ---- locate the workflow row ----
+    const sql::Table& hworkflow = db.table("hworkflow");
+    const auto w_id = static_cast<std::size_t>(hworkflow.column_index("wkfid"));
+    const auto w_tag = static_cast<std::size_t>(hworkflow.column_index("tag"));
+    const auto w_end =
+        static_cast<std::size_t>(hworkflow.column_index("endtime"));
+    for (const sql::Row& row : hworkflow.rows()) {
+      if (row[w_tag].as_string() == workflow_tag) {
+        wkfid = row[w_id].as_int();
+        if (row[w_end].is_null()) {
+          ok = fail(who + " provenance: workflow row was never closed");
+        } else {
+          workflow_end = row[w_end].as_double();
+        }
+      }
     }
-    const double start = row[c_start].as_double();
-    const double end = row[c_end].as_double();
-    const int attempt = static_cast<int>(row[c_attempts].as_int());
-    if (end < start - kTimeEps) {
-      ok = fail(strformat("%s provenance: endtime %.6f < starttime %.6f",
-                          who.c_str(), end, start));
+    if (wkfid < 0) return;
+
+    // ---- scan activations ----
+    const sql::Table& hactivation = db.table("hactivation");
+    const auto c_wkf =
+        static_cast<std::size_t>(hactivation.column_index("wkfid"));
+    const auto c_act =
+        static_cast<std::size_t>(hactivation.column_index("actid"));
+    const auto c_start =
+        static_cast<std::size_t>(hactivation.column_index("starttime"));
+    const auto c_end =
+        static_cast<std::size_t>(hactivation.column_index("endtime"));
+    const auto c_status =
+        static_cast<std::size_t>(hactivation.column_index("status"));
+    const auto c_attempts =
+        static_cast<std::size_t>(hactivation.column_index("attempts"));
+    const auto c_workload =
+        static_cast<std::size_t>(hactivation.column_index("workload"));
+
+    for (const sql::Row& row : hactivation.rows()) {
+      if (row[c_wkf].as_int() != wkfid) continue;
+      const std::string& status = row[c_status].as_string();
+      if (status == prov::kStatusRunning || row[c_end].is_null()) {
+        ok = fail(who + " provenance: activation left open (status " + status +
+                  ")");
+        continue;
+      }
+      const double start = row[c_start].as_double();
+      const double end = row[c_end].as_double();
+      const int attempt = static_cast<int>(row[c_attempts].as_int());
+      if (end < start - kTimeEps) {
+        ok = fail(strformat("%s provenance: endtime %.6f < starttime %.6f",
+                            who.c_str(), end, start));
+      }
+      if (end > workflow_end + kTimeEps) {
+        ok = fail(strformat(
+            "%s provenance: activation ends at %.6f after workflow end %.6f",
+            who.c_str(), end, workflow_end));
+      }
+      if (status == prov::kStatusFinished) ++finished;
+      else if (status == prov::kStatusFailed) ++failed;
+      else if (status == prov::kStatusAborted) ++aborted;
+      else ok = fail(who + " provenance: unknown status " + status);
+      max_attempt = std::max(max_attempt, attempt);
+      sites[{row[c_act].as_int(), row[c_workload].as_string()}].push_back(
+          Attempt{attempt, status, start, end});
     }
-    if (end > workflow_end + kTimeEps) {
-      ok = fail(strformat(
-          "%s provenance: activation ends at %.6f after workflow end %.6f",
-          who.c_str(), end, workflow_end));
-    }
-    if (status == prov::kStatusFinished) ++finished;
-    else if (status == prov::kStatusFailed) ++failed;
-    else if (status == prov::kStatusAborted) ++aborted;
-    else ok = fail(who + " provenance: unknown status " + status);
-    max_attempt = std::max(max_attempt, attempt);
-    sites[{row[c_act].as_int(), row[c_workload].as_string()}].push_back(
-        Attempt{attempt, status, start, end});
+  });
+  if (wkfid < 0) {
+    return fail(who + " provenance: no hworkflow row for tag");
   }
 
   if (finished != summary.activations_finished) {

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// Diagnostic plumbing for scidock-lint: every finding carries a stable
+/// rule ID (WF001, SQL003, ...), a severity, and a source location, so CI
+/// gates and the fixture tests can assert on exact rules rather than
+/// message text.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scidock::lint {
+
+enum class Severity { Error, Warning };
+
+std::string_view to_string(Severity severity);
+
+struct Diagnostic {
+  std::string rule;  ///< stable ID, e.g. "WF003"
+  Severity severity = Severity::Error;
+  std::string file;  ///< "" for in-memory sources
+  int line = 0;      ///< 1-based; 0 = unknown
+  std::string message;
+
+  /// "file:line: error: [WF003] message" (file/line parts elided when
+  /// unknown) — the grep-able single-line form compilers use.
+  std::string format() const;
+};
+
+/// An ordered collection of findings from one lint run.
+class Report {
+ public:
+  void add(std::string rule, Severity severity, std::string file, int line,
+           std::string message);
+  void add_error(std::string rule, std::string file, int line,
+                 std::string message) {
+    add(std::move(rule), Severity::Error, std::move(file), line,
+        std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool clean() const { return diagnostics_.empty(); }
+  std::size_t error_count() const;
+
+  /// Any diagnostic with the given rule ID?
+  bool has(std::string_view rule) const;
+  /// Number of diagnostics with the given rule ID.
+  std::size_t count(std::string_view rule) const;
+
+  /// Merge another report's findings (keeps relative order).
+  void merge(Report other);
+
+  /// One formatted diagnostic per line; "" when clean.
+  std::string format() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// One row of the rule catalog (`scidock-lint rules`).
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// All rule IDs scidock-lint can emit, in catalog order. The fixture suite
+/// checks each entry has a negative fixture that triggers exactly it.
+const std::vector<RuleInfo>& rule_catalog();
+
+}  // namespace scidock::lint

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file wf_lint.hpp
+/// Workflow algebra checker: statically validates a SciCumulus XML
+/// workflow specification (paper Figure 2) without executing it. Unlike
+/// wf::load_spec — which throws on the first problem — the linter walks
+/// the DOM and reports every finding, each tagged with a stable rule ID
+/// (WF001..WF009, see lint::rule_catalog()).
+
+#include <string>
+#include <string_view>
+
+#include "lint/diagnostics.hpp"
+#include "wf/workflow.hpp"
+
+namespace scidock::lint {
+
+/// Lint an XML specification text. `file` labels diagnostics (use the
+/// path the text came from, or "" / a pseudo-name for in-memory specs).
+Report lint_workflow_xml(std::string_view xml_text, std::string file = "");
+
+/// Lint an in-memory definition (used for the builtin SciDock workflow;
+/// round-trips through save_spec so both paths share one checker).
+Report lint_workflow(const wf::WorkflowDef& def, std::string file = "");
+
+}  // namespace scidock::lint

@@ -22,7 +22,7 @@ ProvenanceStore::ProvenanceStore() {
 }
 
 sql::ResultSet ProvenanceStore::query(std::string_view sql_text) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   sql::Engine engine(db_);
   return engine.execute(sql_text);
 }
@@ -30,7 +30,7 @@ sql::ResultSet ProvenanceStore::query(std::string_view sql_text) {
 long long ProvenanceStore::begin_workflow(std::string_view tag,
                                           std::string_view description,
                                           std::string_view expdir, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const long long id = next_wkfid_++;
   db_.table("hworkflow")
       .insert({Value(id), Value(std::string(tag)), Value(std::string(description)),
@@ -39,7 +39,7 @@ long long ProvenanceStore::begin_workflow(std::string_view tag,
 }
 
 void ProvenanceStore::end_workflow(long long wkfid, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   sql::Table& t = db_.table("hworkflow");
   const auto id_col = static_cast<std::size_t>(t.column_index("wkfid"));
   const auto end_col = static_cast<std::size_t>(t.column_index("endtime"));
@@ -55,7 +55,7 @@ void ProvenanceStore::end_workflow(long long wkfid, double now) {
 long long ProvenanceStore::register_activity(long long wkfid, std::string_view tag,
                                              std::string_view activation_command,
                                              std::string_view op) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const long long id = next_actid_++;
   db_.table("hactivity")
       .insert({Value(id), Value(wkfid), Value(std::string(tag)),
@@ -66,7 +66,7 @@ long long ProvenanceStore::register_activity(long long wkfid, std::string_view t
 long long ProvenanceStore::begin_activation(long long actid, long long wkfid,
                                             double now, long long vmid,
                                             std::string_view workload) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const long long id = next_taskid_++;
   db_.table("hactivation")
       .insert({Value(id), Value(actid), Value(wkfid), Value(now), Value(),
@@ -78,7 +78,7 @@ long long ProvenanceStore::begin_activation(long long actid, long long wkfid,
 void ProvenanceStore::end_activation(long long taskid, double now,
                                      std::string_view status, int exitcode,
                                      int attempts) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   sql::Table& t = db_.table("hactivation");
   const auto id_col = static_cast<std::size_t>(t.column_index("taskid"));
   for (auto& row : t.mutable_rows()) {
@@ -95,7 +95,7 @@ void ProvenanceStore::end_activation(long long taskid, double now,
 
 void ProvenanceStore::record_machine(long long vmid, std::string_view type,
                                      int cores, double speed_factor) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   db_.table("hmachine")
       .insert({Value(vmid), Value(std::string(type)), Value(cores), Value(speed_factor)});
 }
@@ -103,14 +103,14 @@ void ProvenanceStore::record_machine(long long vmid, std::string_view type,
 void ProvenanceStore::record_file(long long wkfid, long long actid,
                                   long long taskid, std::string_view fname,
                                   std::size_t fsize, std::string_view fdir) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   db_.table("hfile").insert({Value(next_fileid_++), Value(wkfid), Value(actid),
                              Value(taskid), Value(std::string(fname)),
                              Value(fsize), Value(std::string(fdir))});
 }
 
 std::string ProvenanceStore::export_prov_n() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   sql::Engine engine(db_);
   std::string out = "document\n  prefix scidock <urn:scidock:>\n\n";
 
@@ -159,7 +159,7 @@ std::string ProvenanceStore::export_prov_n() {
 
 void ProvenanceStore::record_value(long long taskid, std::string_view key,
                                    double value_num, std::string_view value_text) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   db_.table("hvalue").insert({Value(next_valueid_++), Value(taskid),
                               Value(std::string(key)), Value(value_num),
                               Value(std::string(value_text))});

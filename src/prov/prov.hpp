@@ -18,12 +18,13 @@
 /// paper's `extract('epoch' from (t.endtime - t.starttime))` evaluates to
 /// the activation duration in seconds.
 
-#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "sql/engine.hpp"
 #include "sql/table.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace scidock::prov {
 
@@ -70,17 +71,25 @@ class ProvenanceStore {
   /// prov:Agent with wasAssociatedWith.
   std::string export_prov_n();
 
-  /// Direct access for tests and custom analytics.
-  sql::Database& database() { return db_; }
+  /// Direct repository access for tests and custom analytics: runs `fn`
+  /// against the underlying database while holding the store lock, so it
+  /// is safe even while activations are still being recorded. (Replaces a
+  /// `database()` accessor that leaked an unsynchronised reference — the
+  /// unguarded read -Wthread-safety flagged when the store was annotated.)
+  template <typename Fn>
+  auto with_database(Fn&& fn) SCIDOCK_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return std::forward<Fn>(fn)(db_);
+  }
 
  private:
-  std::mutex mutex_;
-  sql::Database db_;
-  long long next_wkfid_ = 1;
-  long long next_actid_ = 1;
-  long long next_taskid_ = 1;
-  long long next_fileid_ = 1;
-  long long next_valueid_ = 1;
+  Mutex mutex_;
+  sql::Database db_ SCIDOCK_GUARDED_BY(mutex_);
+  long long next_wkfid_ SCIDOCK_GUARDED_BY(mutex_) = 1;
+  long long next_actid_ SCIDOCK_GUARDED_BY(mutex_) = 1;
+  long long next_taskid_ SCIDOCK_GUARDED_BY(mutex_) = 1;
+  long long next_fileid_ SCIDOCK_GUARDED_BY(mutex_) = 1;
+  long long next_valueid_ SCIDOCK_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace scidock::prov

@@ -105,4 +105,74 @@ std::string query2() {
          "ORDER BY f.fileid";
 }
 
+std::string forensics_failed_by_activity() {
+  return "SELECT a.tag, count(*) "
+         "FROM hactivity a, hactivation t "
+         "WHERE a.actid = t.actid AND t.status = 'FAILED' "
+         "GROUP BY a.tag ORDER BY count(*) DESC";
+}
+
+std::string forensics_hg_aborts(int limit) {
+  return strformat(
+      "SELECT t.workload, count(*) "
+      "FROM hactivation t WHERE t.status = 'ABORTED' "
+      "GROUP BY t.workload ORDER BY count(*) DESC LIMIT %d",
+      limit);
+}
+
+std::string steering_longest_activations(int limit) {
+  return strformat(
+      "SELECT a.tag, t.workload, "
+      "extract('epoch' from (t.endtime - t.starttime)) dur "
+      "FROM hactivity a, hactivation t "
+      "WHERE a.actid = t.actid AND t.status = 'FINISHED' "
+      "ORDER BY dur DESC LIMIT %d",
+      limit);
+}
+
+std::string screen_summary_query() {
+  return "SELECT ligand, count(*) pairs, sum(feb < 0) favorable, "
+         "min(feb) best_feb FROM rel GROUP BY ligand ORDER BY ligand";
+}
+
+std::vector<RelationField> output_relation_schema() {
+  return {
+      // generator pair fields (data/generator.cpp build_pairs_relation)
+      {"pair", FieldKind::Text},
+      {"receptor", FieldKind::Text},
+      {"ligand", FieldKind::Text},
+      {"receptor_file", FieldKind::Text},
+      {"ligand_file", FieldKind::Text},
+      {"residues", FieldKind::Int},
+      {"engine", FieldKind::Text},
+      {"workload", FieldKind::Real},
+      {"hg", FieldKind::Int},
+      // fields emitted along the pipeline (scidock.cpp make_pipeline)
+      {"ligand_mol2", FieldKind::Text},
+      {"ligand_pdbqt", FieldKind::Text},
+      {"receptor_pdbqt", FieldKind::Text},
+      {"gpf_file", FieldKind::Text},
+      {"maps_prefix", FieldKind::Text},
+      {"dpf_file", FieldKind::Text},
+      {"conf_file", FieldKind::Text},
+      {"dlg_file", FieldKind::Text},
+      {"feb", FieldKind::Real},
+      {"rmsd", FieldKind::Real},
+  };
+}
+
+std::vector<ShippedQuery> shipped_queries() {
+  return {
+      {"figure5-histogram", figure5_query(1), "prov"},
+      {"query1-statistics", query1(1), "prov"},
+      {"query2-dlg-files", query2(), "prov"},
+      {"forensics-failed-by-activity", forensics_failed_by_activity(),
+       "prov"},
+      {"forensics-hg-aborts", forensics_hg_aborts(), "prov"},
+      {"steering-longest-activations", steering_longest_activations(),
+       "prov"},
+      {"screen-summary", screen_summary_query(), "rel"},
+  };
+}
+
 }  // namespace scidock::core

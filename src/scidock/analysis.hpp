@@ -45,4 +45,51 @@ std::string query1(long long wkfid);
 /// with their producing workflow and activity.
 std::string query2();
 
+/// Failure forensics (§V.C): activations that needed re-execution,
+/// grouped by activity, most-failing first.
+std::string forensics_failed_by_activity();
+
+/// The Hg diagnosis: aborted (looping-state) activations per workload —
+/// the query that pinned the paper's failures on Hg-bearing receptors.
+std::string forensics_hg_aborts(int limit = 8);
+
+/// Runtime steering: the longest FINISHED activations so far.
+std::string steering_longest_activations(int limit = 5);
+
+/// The CLI's per-ligand screening summary, an SRQuery over the final
+/// output relation exposed as table `rel`.
+std::string screen_summary_query();
+
+// ---------------------------------------------------------------------
+// Shipped-query registry: every SQL text the repo ships (examples, bench,
+// CLI) with the catalog it runs against, so scidock-lint and the fixture
+// tests can validate all of them from one place.
+// ---------------------------------------------------------------------
+
+/// Column kinds of a workflow relation as wf::to_sql_table types them
+/// (numeric-looking field values become numbers). Mirrored into
+/// lint::ColType by the lint tool; core deliberately does not depend on
+/// the lint library.
+enum class FieldKind { Int, Real, Text };
+
+struct RelationField {
+  std::string name;
+  FieldKind kind = FieldKind::Text;
+};
+
+/// Declared schema of the docking pipeline's final output relation — the
+/// union of the generator's pair fields and every field a pipeline stage
+/// emits, with the types to_sql_table infers for them.
+std::vector<RelationField> output_relation_schema();
+
+struct ShippedQuery {
+  std::string name;
+  std::string sql;
+  std::string catalog;  ///< "prov" (PROV-Wf schema) or "rel" (SRQuery)
+};
+
+/// All queries shipped in bench/, examples/ and the CLI (representative
+/// ids substituted for the parameterised ones).
+std::vector<ShippedQuery> shipped_queries();
+
 }  // namespace scidock::core

@@ -1,6 +1,5 @@
 #include "scidock/scidock.hpp"
 
-#include <mutex>
 #include <unordered_map>
 
 #include "dock/autodock4.hpp"
@@ -13,6 +12,7 @@
 #include "mol/io_sdf.hpp"
 #include "mol/prepare.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -27,38 +27,41 @@ using wf::Tuple;
 class ArtifactCache {
  public:
   std::shared_ptr<const mol::PreparedLigand> ligand(const std::string& key) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = ligands_.find(key);
     return it == ligands_.end() ? nullptr : it->second;
   }
   void put_ligand(const std::string& key, mol::PreparedLigand value) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ligands_[key] = std::make_shared<mol::PreparedLigand>(std::move(value));
   }
   std::shared_ptr<const mol::PreparedReceptor> receptor(const std::string& key) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = receptors_.find(key);
     return it == receptors_.end() ? nullptr : it->second;
   }
   void put_receptor(const std::string& key, mol::PreparedReceptor value) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     receptors_[key] = std::make_shared<mol::PreparedReceptor>(std::move(value));
   }
   std::shared_ptr<const dock::GridMapSet> maps(const std::string& key) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = maps_.find(key);
     return it == maps_.end() ? nullptr : it->second;
   }
   void put_maps(const std::string& key, dock::GridMapSet value) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     maps_[key] = std::make_shared<dock::GridMapSet>(std::move(value));
   }
 
  private:
-  std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedLigand>> ligands_;
-  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedReceptor>> receptors_;
-  std::unordered_map<std::string, std::shared_ptr<const dock::GridMapSet>> maps_;
+  Mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedLigand>>
+      ligands_ SCIDOCK_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedReceptor>>
+      receptors_ SCIDOCK_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::shared_ptr<const dock::GridMapSet>>
+      maps_ SCIDOCK_GUARDED_BY(mutex_);
 };
 
 std::shared_ptr<ArtifactCache> make_artifact_cache() {

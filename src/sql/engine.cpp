@@ -171,6 +171,12 @@ Value eval_binary(const Expr& e, const Scope& scope) {
 Value eval_call(const Expr& e, const Scope& scope) {
   const std::string& fn = e.call_name;
   auto arg = [&](std::size_t i) { return eval(*e.args[i], scope); };
+  auto require_args = [&](std::size_t lo, std::size_t hi) {
+    SCIDOCK_REQUIRE(e.args.size() >= lo && e.args.size() <= hi,
+                    fn + "() takes " + std::to_string(lo) +
+                        (lo == hi ? "" : ".." + std::to_string(hi)) +
+                        " argument(s), got " + std::to_string(e.args.size()));
+  };
 
   if (fn == "extract") {
     SCIDOCK_REQUIRE(e.args.size() == 2, "extract() needs a field and a value");
@@ -188,11 +194,13 @@ Value eval_call(const Expr& e, const Scope& scope) {
     throw InvalidStateError("unsupported EXTRACT field '" + f + "'");
   }
   if (fn == "abs") {
+    require_args(1, 1);
     const Value v = arg(0);
     if (v.is_null()) return Value();
     return v.is_int() ? Value(std::abs(v.as_int())) : Value(std::abs(v.as_double()));
   }
   if (fn == "round") {
+    require_args(1, 2);
     const Value v = arg(0);
     if (v.is_null()) return Value();
     if (e.args.size() >= 2) {
@@ -201,22 +209,31 @@ Value eval_call(const Expr& e, const Scope& scope) {
     }
     return Value(std::round(v.as_double()));
   }
-  if (fn == "floor") return e.args[0] ? Value(std::floor(arg(0).as_double())) : Value();
-  if (fn == "ceil" || fn == "ceiling") return Value(std::ceil(arg(0).as_double()));
+  if (fn == "floor" || fn == "ceil" || fn == "ceiling") {
+    require_args(1, 1);
+    const Value v = arg(0);
+    if (v.is_null()) return Value();
+    return Value(fn == "floor" ? std::floor(v.as_double())
+                               : std::ceil(v.as_double()));
+  }
   if (fn == "length") {
+    require_args(1, 1);
     const Value v = arg(0);
     if (v.is_null()) return Value();
     return Value(static_cast<std::int64_t>(v.to_string().size()));
   }
   if (fn == "upper") {
+    require_args(1, 1);
     const Value v = arg(0);
     return v.is_null() ? Value() : Value(to_upper(v.to_string()));
   }
   if (fn == "lower") {
+    require_args(1, 1);
     const Value v = arg(0);
     return v.is_null() ? Value() : Value(to_lower(v.to_string()));
   }
   if (fn == "coalesce") {
+    require_args(1, static_cast<std::size_t>(-1));
     for (std::size_t i = 0; i < e.args.size(); ++i) {
       Value v = arg(i);
       if (!v.is_null()) return v;
@@ -224,6 +241,7 @@ Value eval_call(const Expr& e, const Scope& scope) {
     return Value();
   }
   if (fn == "substr" || fn == "substring") {
+    require_args(2, 3);
     const Value v = arg(0);
     if (v.is_null()) return Value();
     const std::string s = v.to_string();

@@ -100,10 +100,8 @@ int cmd_screen(const std::vector<std::string>& args) {
               report.output.size(), report.wall_seconds, report.tuples_lost);
 
   // Summarise with an SRQuery over the output relation.
-  const wf::Relation summary = wf::query_relation(
-      report.output,
-      "SELECT ligand, count(*) pairs, sum(feb < 0) favorable, "
-      "min(feb) best_feb FROM rel GROUP BY ligand ORDER BY ligand");
+  const wf::Relation summary =
+      wf::query_relation(report.output, core::screen_summary_query());
   std::printf("\n%-8s %6s %10s %10s\n", "ligand", "pairs", "favorable",
               "best FEB");
   for (const wf::Tuple& t : summary.tuples()) {

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace scidock {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex;  ///< serialises whole lines onto stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,7 +28,7 @@ void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_message(LogLevel level, const std::string& message) {
-  std::lock_guard lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   std::fprintf(stderr, "[scidock %-5s] %s\n", level_name(level),
                message.c_str());
 }

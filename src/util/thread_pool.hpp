@@ -9,14 +9,14 @@
 /// would be complexity without measurable benefit; tasks in scidock are
 /// coarse (whole activity executions or whole MC chains).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace scidock {
 
@@ -49,7 +49,7 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     TaskHook hook;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       hook = task_hook_;
     }
     auto task = std::make_shared<std::packaged_task<R()>>(
@@ -59,7 +59,7 @@ class ThreadPool {
         });
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -73,12 +73,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  TaskHook task_hook_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< written only in the constructor
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SCIDOCK_GUARDED_BY(mutex_);
+  TaskHook task_hook_ SCIDOCK_GUARDED_BY(mutex_);
+  bool stop_ SCIDOCK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace scidock

@@ -17,12 +17,12 @@ std::string SharedFileSystem::normalize(std::string_view path) {
 }
 
 void SharedFileSystem::set_fault_hook(FaultHook hook) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   fault_hook_ = std::move(hook);
 }
 
 SharedFileSystem::FaultHook SharedFileSystem::fault_hook_snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return fault_hook_;
 }
 
@@ -30,7 +30,7 @@ void SharedFileSystem::write(std::string_view path, std::string content,
                              double now, std::string_view producer) {
   const std::string key = normalize(path);
   if (const FaultHook hook = fault_hook_snapshot()) hook(FileOp::Write, key);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   bytes_written_ += content.size();
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), key,
@@ -51,7 +51,7 @@ void SharedFileSystem::write(std::string_view path, std::string content,
 std::string SharedFileSystem::read(std::string_view path) const {
   const std::string key = normalize(path);
   if (const FaultHook hook = fault_hook_snapshot()) hook(FileOp::Read, key);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), key,
       [](const Entry& e, const std::string& k) { return e.info.path < k; });
@@ -64,7 +64,7 @@ std::string SharedFileSystem::read(std::string_view path) const {
 
 bool SharedFileSystem::exists(std::string_view path) const {
   const std::string key = normalize(path);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), key,
       [](const Entry& e, const std::string& k) { return e.info.path < k; });
@@ -73,7 +73,7 @@ bool SharedFileSystem::exists(std::string_view path) const {
 
 std::optional<FileInfo> SharedFileSystem::stat(std::string_view path) const {
   const std::string key = normalize(path);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), key,
       [](const Entry& e, const std::string& k) { return e.info.path < k; });
@@ -83,7 +83,7 @@ std::optional<FileInfo> SharedFileSystem::stat(std::string_view path) const {
 
 void SharedFileSystem::remove(std::string_view path) {
   const std::string key = normalize(path);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), key,
       [](const Entry& e, const std::string& k) { return e.info.path < k; });
@@ -96,7 +96,7 @@ void SharedFileSystem::remove(std::string_view path) {
 std::vector<FileInfo> SharedFileSystem::list(std::string_view dir_prefix) const {
   const std::string key =
       (dir_prefix.empty() || dir_prefix == "/") ? "/" : normalize(dir_prefix);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<FileInfo> out;
   for (const Entry& e : entries_) {
     if (e.info.path.starts_with(key)) out.push_back(e.info);
@@ -105,24 +105,24 @@ std::vector<FileInfo> SharedFileSystem::list(std::string_view dir_prefix) const 
 }
 
 std::size_t SharedFileSystem::file_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t SharedFileSystem::total_bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t total = 0;
   for (const Entry& e : entries_) total += e.info.size;
   return total;
 }
 
 std::size_t SharedFileSystem::bytes_written() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_written_;
 }
 
 std::size_t SharedFileSystem::bytes_read() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_read_;
 }
 

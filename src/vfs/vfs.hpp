@@ -9,11 +9,12 @@
 
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace scidock::vfs {
 
@@ -95,12 +96,13 @@ class SharedFileSystem {
   /// cannot race the invocation.
   FaultHook fault_hook_snapshot() const;
 
-  LatencyModel latency_;
-  FaultHook fault_hook_;
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;  ///< sorted by path for cheap prefix listing
-  std::size_t bytes_written_ = 0;
-  mutable std::size_t bytes_read_ = 0;
+  LatencyModel latency_;  ///< immutable after construction
+  mutable Mutex mutex_;
+  FaultHook fault_hook_ SCIDOCK_GUARDED_BY(mutex_);
+  /// Sorted by path for cheap prefix listing.
+  std::vector<Entry> entries_ SCIDOCK_GUARDED_BY(mutex_);
+  std::size_t bytes_written_ SCIDOCK_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t bytes_read_ SCIDOCK_GUARDED_BY(mutex_) = 0;
 };
 
 /// Split "/a/b/c.dlg" into directory "/a/b/" and name "c.dlg".

@@ -38,6 +38,12 @@ WorkflowDef load_spec(std::string_view xml_text) {
       RelationDef rel;
       rel.name = rel_el->require_attribute("name");
       if (auto v = rel_el->attribute("filename")) rel.filename = *v;
+      if (auto v = rel_el->attribute("fields")) {
+        for (const std::string& f : split(*v, ',')) {
+          const std::string_view t = trim(f);
+          if (!t.empty()) rel.fields.emplace_back(t);
+        }
+      }
       const std::string reltype = rel_el->require_attribute("reltype");
       if (iequals(reltype, "Input")) rel.is_input = true;
       else if (iequals(reltype, "Output")) rel.is_input = false;
@@ -77,6 +83,9 @@ std::string save_spec(const WorkflowDef& wf) {
       rel_el.set_attribute("reltype", rel.is_input ? "Input" : "Output");
       rel_el.set_attribute("name", rel.name);
       rel_el.set_attribute("filename", rel.filename);
+      if (!rel.fields.empty()) {
+        rel_el.set_attribute("fields", join(rel.fields, ","));
+      }
     }
   }
   return doc.to_string();

@@ -27,6 +27,12 @@ struct RelationDef {
   std::string name;
   std::string filename;
   bool is_input = true;
+  /// Declared schema (ordered field names), empty when the spec omits the
+  /// optional `fields` attribute. scidock-lint uses it to check that a
+  /// consumer's declared input schema is satisfied by its producer's
+  /// output schema (rule WF005) and that activation-command %TAG%
+  /// placeholders resolve (rule WF009).
+  std::vector<std::string> fields;
 };
 
 struct ActivityDef {

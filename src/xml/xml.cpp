@@ -154,12 +154,18 @@ class Parser {
   }
 
  private:
-  [[noreturn]] void fail(const std::string& why) const {
+  /// 1-based line number of the current position (specs are small, so a
+  /// rescan per call is cheaper than threading a counter through).
+  int line_at() const {
     int line = 1;
     for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
       if (text_[i] == '\n') ++line;
     }
-    throw ParseError("XML", why + " (line " + std::to_string(line) + ")");
+    return line;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("XML", why + " (line " + std::to_string(line_at()) + ")");
   }
 
   bool eof() const { return pos_ >= text_.size(); }
@@ -224,8 +230,10 @@ class Parser {
   }
 
   std::unique_ptr<Element> parse_element() {
+    const int open_line = line_at();
     if (!consume("<")) fail("expected '<'");
     auto element = std::make_unique<Element>(parse_name());
+    element->set_source_line(open_line);
 
     // attributes
     for (;;) {

@@ -42,6 +42,11 @@ class Element {
   const std::string& text() const { return text_; }
   void set_text(std::string text) { text_ = std::move(text); }
 
+  /// 1-based line of the opening tag in the parsed source, or 0 for
+  /// programmatically-built elements. Used by diagnostics (scidock-lint).
+  int source_line() const { return source_line_; }
+  void set_source_line(int line) { source_line_ = line; }
+
   /// Serialise this element (and subtree) as indented XML.
   std::string to_string(int indent = 0) const;
 
@@ -50,6 +55,7 @@ class Element {
   std::vector<std::pair<std::string, std::string>> attributes_;
   std::vector<std::unique_ptr<Element>> children_;
   std::string text_;
+  int source_line_ = 0;
 };
 
 struct Document {

@@ -217,15 +217,17 @@ TEST(ChaosNegativeControl, TamperedProvenanceIsFlagged) {
   ASSERT_TRUE(before.check_provenance(s, store, "tamper", 2))
       << before.to_string();
   // Drop one FINISHED record: report counters no longer match the store.
-  sql::Table& t = store.database().table("hactivation");
-  const auto c_status = static_cast<std::size_t>(t.column_index("status"));
   bool dropped = false;
-  t.erase_if([&](const sql::Row& row) {
-    if (dropped || row[c_status].as_string() != prov::kStatusFinished) {
-      return false;
-    }
-    dropped = true;
-    return true;
+  store.with_database([&](sql::Database& db) {
+    sql::Table& t = db.table("hactivation");
+    const auto c_status = static_cast<std::size_t>(t.column_index("status"));
+    t.erase_if([&](const sql::Row& row) {
+      if (dropped || row[c_status].as_string() != prov::kStatusFinished) {
+        return false;
+      }
+      dropped = true;
+      return true;
+    });
   });
   ASSERT_TRUE(dropped);
   InvariantChecker after;

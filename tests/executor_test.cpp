@@ -350,18 +350,22 @@ TEST(SimulatedExecutor, AttemptNumbersAreOneBasedAndConsecutive) {
   EXPECT_EQ(min_failed.rows[0][0].as_int(), 1);
   // A FINISHED row after n failures carries attempt n + 1: per workload
   // and activity, FAILED rows number 1..n and FINISHED closes at n + 1.
-  sql::Table& t = store.database().table("hactivation");
-  const auto c_act = static_cast<std::size_t>(t.column_index("actid"));
-  const auto c_status = static_cast<std::size_t>(t.column_index("status"));
-  const auto c_attempts = static_cast<std::size_t>(t.column_index("attempts"));
-  const auto c_workload = static_cast<std::size_t>(t.column_index("workload"));
   std::map<std::pair<long long, std::string>, std::pair<int, int>> sites;
-  for (const sql::Row& row : t.rows()) {
-    auto& [fails, finish_attempt] =
-        sites[{row[c_act].as_int(), row[c_workload].as_string()}];
-    if (row[c_status].as_string() == "FAILED") ++fails;
-    else finish_attempt = static_cast<int>(row[c_attempts].as_int());
-  }
+  store.with_database([&](sql::Database& db) {
+    const sql::Table& t = db.table("hactivation");
+    const auto c_act = static_cast<std::size_t>(t.column_index("actid"));
+    const auto c_status = static_cast<std::size_t>(t.column_index("status"));
+    const auto c_attempts =
+        static_cast<std::size_t>(t.column_index("attempts"));
+    const auto c_workload =
+        static_cast<std::size_t>(t.column_index("workload"));
+    for (const sql::Row& row : t.rows()) {
+      auto& [fails, finish_attempt] =
+          sites[{row[c_act].as_int(), row[c_workload].as_string()}];
+      if (row[c_status].as_string() == "FAILED") ++fails;
+      else finish_attempt = static_cast<int>(row[c_attempts].as_int());
+    }
+  });
   for (const auto& [site, counts] : sites) {
     if (counts.second == 0) {
       // Lost tuple: every attempt failed, exhausting the budget.

@@ -1,0 +1,1 @@
+SELECT wkfid FROM hworkflows

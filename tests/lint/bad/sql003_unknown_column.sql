@@ -1,0 +1,1 @@
+SELECT w.wkfid, w.tagg FROM hworkflow w

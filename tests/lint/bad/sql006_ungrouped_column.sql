@@ -1,0 +1,4 @@
+SELECT a.tag, t.workload, count(*)
+FROM hactivity a, hactivation t
+WHERE a.actid = t.actid
+GROUP BY a.tag

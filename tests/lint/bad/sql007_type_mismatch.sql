@@ -1,0 +1,1 @@
+SELECT tag + 1 FROM hworkflow WHERE description < 42

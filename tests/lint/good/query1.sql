@@ -1,0 +1,10 @@
+SELECT a.tag,
+  min(extract ('epoch' from (t.endtime - t.starttime))),
+  max(extract ('epoch' from (t.endtime - t.starttime))),
+  sum(extract ('epoch' from (t.endtime - t.starttime))),
+  avg(extract ('epoch' from (t.endtime - t.starttime)))
+FROM hworkflow w, hactivity a, hactivation t
+WHERE w.wkfid = a.wkfid
+  AND a.actid = t.actid
+  AND w.wkfid = 1
+GROUP BY a.tag

@@ -1,0 +1,5 @@
+SELECT ligand, count(*) pairs, sum(feb < 0) favorable,
+       min(feb) best_feb
+FROM rel
+GROUP BY ligand
+ORDER BY ligand

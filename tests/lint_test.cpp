@@ -1,0 +1,322 @@
+// Tests for the scidock-lint static analyzer: the workflow algebra
+// checker (WF001..WF009), the SQL semantic checker (SQL001..SQL007), the
+// fixture corpus under tests/lint/, and the drift guard that keeps the
+// lint catalog aligned with the live provenance schema.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/sql_lint.hpp"
+#include "lint/wf_lint.hpp"
+#include "prov/prov.hpp"
+#include "scidock/analysis.hpp"
+#include "scidock/scidock.hpp"
+#include "sql/table.hpp"
+
+namespace scidock::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(SCIDOCK_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Catalog rel_catalog() {
+  std::vector<CatalogColumn> columns;
+  for (const core::RelationField& f : core::output_relation_schema()) {
+    ColType type = ColType::Text;
+    if (f.kind == core::FieldKind::Int) type = ColType::Int;
+    if (f.kind == core::FieldKind::Real) type = ColType::Real;
+    columns.push_back(CatalogColumn{f.name, type});
+  }
+  return relation_catalog(std::move(columns));
+}
+
+/// Assert that every diagnostic in the report carries exactly `rule` —
+/// the fixture contract: one defect class per negative fixture.
+void expect_only_rule(const Report& report, const std::string& rule,
+                      const std::string& what) {
+  EXPECT_FALSE(report.clean()) << what << ": expected " << rule
+                               << " but the report is clean";
+  for (const Diagnostic& d : report.diagnostics()) {
+    EXPECT_EQ(d.rule, rule) << what << ": stray diagnostic\n" << d.format();
+  }
+}
+
+// ------------------------------------------------- fixture corpus: good
+
+TEST(LintFixtures, GoodWorkflowsAreClean) {
+  for (const char* name :
+       {"good/workflow_sciDock.xml", "good/workflow_splitmap.xml"}) {
+    const Report report = lint_workflow_xml(read_fixture(name), name);
+    EXPECT_TRUE(report.clean()) << name << ":\n" << report.format();
+  }
+}
+
+TEST(LintFixtures, GoodQueriesAreClean) {
+  const Report q1 =
+      lint_query(read_fixture("good/query1.sql"), prov_wf_catalog());
+  EXPECT_TRUE(q1.clean()) << q1.format();
+  const Report screen =
+      lint_query(read_fixture("good/screen_summary.sql"), rel_catalog());
+  EXPECT_TRUE(screen.clean()) << screen.format();
+}
+
+// -------------------------------------------- fixture corpus: negative
+
+TEST(LintFixtures, EveryWorkflowRuleHasATriggeringFixture) {
+  for (const char* rule : {"WF001", "WF002", "WF003", "WF004", "WF005",
+                           "WF006", "WF007", "WF008", "WF009"}) {
+    std::string lower(rule);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    std::string name;
+    for (const char* candidate :
+         {"bad/wf001_missing_workflow.xml", "bad/wf002_unknown_operator.xml",
+          "bad/wf003_operator_arity.xml", "bad/wf004_duplicate_tag.xml",
+          "bad/wf005_schema_mismatch.xml", "bad/wf006_cycle.xml",
+          "bad/wf007_dangling_input.xml", "bad/wf008_bad_template.xml",
+          "bad/wf009_dangling_tag.xml"}) {
+      if (std::string(candidate).find(lower) != std::string::npos) {
+        name = candidate;
+      }
+    }
+    ASSERT_FALSE(name.empty()) << "no fixture for " << rule;
+    expect_only_rule(lint_workflow_xml(read_fixture(name), name), rule, name);
+  }
+}
+
+TEST(LintFixtures, EverySqlRuleHasATriggeringFixture) {
+  const struct {
+    const char* rule;
+    const char* name;
+  } cases[] = {
+      {"SQL001", "bad/sql001_syntax.sql"},
+      {"SQL002", "bad/sql002_unknown_table.sql"},
+      {"SQL003", "bad/sql003_unknown_column.sql"},
+      {"SQL004", "bad/sql004_unknown_function.sql"},
+      {"SQL005", "bad/sql005_aggregate_misuse.sql"},
+      {"SQL006", "bad/sql006_ungrouped_column.sql"},
+      {"SQL007", "bad/sql007_type_mismatch.sql"},
+  };
+  for (const auto& c : cases) {
+    expect_only_rule(lint_query(read_fixture(c.name), prov_wf_catalog(),
+                                c.name),
+                     c.rule, c.name);
+  }
+}
+
+TEST(LintFixtures, CatalogCoversEveryFixtureRule) {
+  // Every rule in the catalog is exercised above; conversely every rule ID
+  // used by the fixtures exists in the catalog.
+  const std::vector<RuleInfo>& catalog = rule_catalog();
+  EXPECT_EQ(catalog.size(), 16u);
+  for (const RuleInfo& rule : catalog) {
+    EXPECT_TRUE(rule.id.rfind("WF", 0) == 0 || rule.id.rfind("SQL", 0) == 0)
+        << rule.id;
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+  }
+}
+
+// ------------------------------------------------- shipped content gate
+
+TEST(LintShipped, BuiltinWorkflowIsClean) {
+  const wf::WorkflowDef def =
+      core::scidock_workflow_def(core::ScidockOptions{});
+  const Report report = lint_workflow(def, "builtin");
+  EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(LintShipped, AllShippedQueriesAreClean) {
+  const Catalog rel = rel_catalog();
+  for (const core::ShippedQuery& q : core::shipped_queries()) {
+    const Catalog& catalog = q.catalog == "rel" ? rel : prov_wf_catalog();
+    const Report report = lint_query(q.sql, catalog, q.name);
+    EXPECT_TRUE(report.clean()) << q.name << ":\n" << report.format();
+  }
+}
+
+// --------------------------------------------------------- drift guard
+
+TEST(LintCatalog, MatchesLiveProvenanceSchema) {
+  prov::ProvenanceStore store;
+  const Catalog& catalog = prov_wf_catalog();
+  store.with_database([&](sql::Database& db) {
+    const std::vector<std::string> live = db.table_names();
+    EXPECT_EQ(live.size(), catalog.tables().size());
+    for (const std::string& table_name : live) {
+      const CatalogTable* table = catalog.find(table_name);
+      ASSERT_NE(table, nullptr) << "catalog lacks table " << table_name;
+      const sql::Table& live_table = db.table(table_name);
+      ASSERT_EQ(live_table.columns().size(), table->columns.size())
+          << table_name;
+      for (std::size_t i = 0; i < table->columns.size(); ++i) {
+        EXPECT_EQ(live_table.columns()[i], table->columns[i].name)
+            << table_name << " column " << i;
+      }
+    }
+  });
+}
+
+// ----------------------------------------------- targeted unit coverage
+
+TEST(WorkflowLint, ReportsLineNumbers) {
+  const Report report = lint_workflow_xml(
+      read_fixture("bad/wf007_dangling_input.xml"), "wf007.xml");
+  ASSERT_FALSE(report.clean());
+  EXPECT_GT(report.diagnostics()[0].line, 0);
+  EXPECT_NE(report.diagnostics()[0].format().find("wf007.xml:"),
+            std::string::npos);
+}
+
+TEST(WorkflowLint, XmlSyntaxErrorIsWF001) {
+  const Report report = lint_workflow_xml("<SciCumulus><unclosed>", "x.xml");
+  expect_only_rule(report, "WF001", "syntax error");
+}
+
+TEST(WorkflowLint, BadDatabasePortIsWF001) {
+  const Report report = lint_workflow_xml(
+      "<SciCumulus><database port=\"70000\"/>"
+      "<SciCumulusWorkflow tag=\"w\">"
+      "<SciCumulusActivity tag=\"a\" type=\"MAP\">"
+      "<Relation reltype=\"Input\" name=\"r\" filename=\"f.txt\"/>"
+      "<Relation reltype=\"Output\" name=\"s\"/>"
+      "</SciCumulusActivity></SciCumulusWorkflow></SciCumulus>");
+  expect_only_rule(report, "WF001", "port range");
+}
+
+TEST(WorkflowLint, TwoProducersIsWF004) {
+  const Report report = lint_workflow_xml(
+      "<SciCumulus><SciCumulusWorkflow tag=\"w\">"
+      "<SciCumulusActivity tag=\"a\" type=\"MAP\">"
+      "<Relation reltype=\"Input\" name=\"in\" filename=\"f.txt\"/>"
+      "<Relation reltype=\"Output\" name=\"dup\"/>"
+      "</SciCumulusActivity>"
+      "<SciCumulusActivity tag=\"b\" type=\"MAP\">"
+      "<Relation reltype=\"Input\" name=\"in\" filename=\"f.txt\"/>"
+      "<Relation reltype=\"Output\" name=\"dup\"/>"
+      "</SciCumulusActivity>"
+      "</SciCumulusWorkflow></SciCumulus>");
+  expect_only_rule(report, "WF004", "two producers");
+}
+
+TEST(WorkflowLint, SplitMapMayFanOut) {
+  const Report report = lint_workflow_xml(read_fixture(
+      "good/workflow_splitmap.xml"));
+  EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(SqlLint, UnknownTableSuppressesColumnCascade) {
+  const Report report =
+      lint_query("SELECT nosuch.col FROM nosuch", prov_wf_catalog());
+  expect_only_rule(report, "SQL002", "cascade suppression");
+}
+
+TEST(SqlLint, AmbiguousColumnIsSQL003) {
+  // `tag` exists in both hworkflow and hactivity.
+  const Report report = lint_query(
+      "SELECT tag FROM hworkflow w, hactivity a WHERE w.wkfid = a.wkfid",
+      prov_wf_catalog());
+  expect_only_rule(report, "SQL003", "ambiguous");
+  EXPECT_NE(report.diagnostics()[0].message.find("ambiguous"),
+            std::string::npos);
+}
+
+TEST(SqlLint, BadExtractFieldIsSQL004) {
+  const Report report = lint_query(
+      "SELECT extract('century' from starttime) FROM hworkflow",
+      prov_wf_catalog());
+  expect_only_rule(report, "SQL004", "extract field");
+}
+
+TEST(SqlLint, NestedAggregateIsSQL005) {
+  const Report report = lint_query("SELECT sum(min(attempts)) FROM hactivation",
+                                   prov_wf_catalog());
+  expect_only_rule(report, "SQL005", "nested aggregate");
+}
+
+TEST(SqlLint, StarOnNonCountAggregateIsSQL005) {
+  const Report report =
+      lint_query("SELECT min(*) FROM hactivation", prov_wf_catalog());
+  expect_only_rule(report, "SQL005", "min(*)");
+}
+
+TEST(SqlLint, OrderByAliasResolvesLikeTheEngine) {
+  // `dur` is a select-list alias; the engine substitutes the aliased
+  // expression (PostgreSQL semantics), so this must lint clean.
+  const Report report = lint_query(
+      "SELECT extract('epoch' from (endtime - starttime)) dur "
+      "FROM hactivation ORDER BY dur DESC",
+      prov_wf_catalog());
+  EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(SqlLint, UngroupedOrderByColumnIsSQL006) {
+  const Report report = lint_query(
+      "SELECT status, count(*) FROM hactivation GROUP BY status "
+      "ORDER BY workload",
+      prov_wf_catalog());
+  expect_only_rule(report, "SQL006", "ungrouped ORDER BY");
+}
+
+TEST(SqlLint, UnqualifiedGroupByMatchesQualifiedSelect) {
+  // `t.status` and `status` resolve to the same catalog column; grouping
+  // must compare by identity, not spelling.
+  const Report report = lint_query(
+      "SELECT t.status, count(*) FROM hactivation t GROUP BY status",
+      prov_wf_catalog());
+  EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(SqlLint, SumOverTextIsSQL007) {
+  const Report report =
+      lint_query("SELECT sum(status) FROM hactivation", prov_wf_catalog());
+  expect_only_rule(report, "SQL007", "sum(text)");
+}
+
+TEST(SqlLint, LikeAgainstNumberIsSQL007) {
+  const Report report = lint_query(
+      "SELECT fname FROM hfile WHERE fname LIKE 42", prov_wf_catalog());
+  expect_only_rule(report, "SQL007", "LIKE number");
+}
+
+TEST(SqlLint, UpdateAndDeleteResolveAgainstCatalog) {
+  EXPECT_TRUE(lint_query("DELETE FROM hvalue WHERE taskid = 3",
+                         prov_wf_catalog())
+                  .clean());
+  const Report bad_column = lint_query(
+      "UPDATE hactivation SET statuss = 'FAILED' WHERE taskid = 1",
+      prov_wf_catalog());
+  expect_only_rule(bad_column, "SQL003", "UPDATE unknown column");
+}
+
+TEST(SqlLint, InsertChecksTableAndColumns) {
+  const Report unknown_table = lint_query(
+      "INSERT INTO nosuch (a) VALUES (1)", prov_wf_catalog());
+  expect_only_rule(unknown_table, "SQL002", "INSERT unknown table");
+  const Report unknown_column = lint_query(
+      "INSERT INTO hmachine (vmid, nosuch) VALUES (1, 2)",
+      prov_wf_catalog());
+  expect_only_rule(unknown_column, "SQL003", "INSERT unknown column");
+}
+
+TEST(Diagnostics, FormatIsCompilerStyle) {
+  Diagnostic d{"WF003", Severity::Error, "spec.xml", 7, "bad arity"};
+  EXPECT_EQ(d.format(), "spec.xml:7: error: [WF003] bad arity");
+  Diagnostic no_file{"SQL001", Severity::Error, "", 0, "syntax"};
+  EXPECT_EQ(no_file.format(), "error: [SQL001] syntax");
+}
+
+}  // namespace
+}  // namespace scidock::lint

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "prov/prov.hpp"
 #include "util/error.hpp"
 
@@ -12,7 +15,9 @@ TEST(Provenance, SchemaTablesExist) {
   ProvenanceStore store;
   for (const char* table : {"hmachine", "hworkflow", "hactivity",
                             "hactivation", "hfile", "hvalue"}) {
-    EXPECT_TRUE(store.database().has_table(table)) << table;
+    const bool present = store.with_database(
+        [&](sql::Database& db) { return db.has_table(table); });
+    EXPECT_TRUE(present) << table;
   }
 }
 
@@ -152,6 +157,48 @@ TEST(Provenance, ProvNExportOfEmptyStore) {
   const std::string prov_n = store.export_prov_n();
   EXPECT_NE(prov_n.find("document"), std::string::npos);
   EXPECT_EQ(prov_n.find("activity("), std::string::npos);
+}
+
+// Regression: the store used to expose `database()`, handing out an
+// unsynchronised reference that callers could scan while recorder threads
+// mutated the tables underneath (flagged by -Wthread-safety once the store
+// was annotated). with_database() runs the callback under the store lock,
+// so a steering-style scan during concurrent recording observes only
+// complete rows and never tears.
+TEST(Provenance, WithDatabaseIsSafeDuringRecording) {
+  ProvenanceStore store;
+  const long long wkfid = store.begin_workflow("steer", "", "/x/", 0.0);
+  const long long actid = store.register_activity(wkfid, "dock", "./d", "MAP");
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 64;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, actid, wkfid, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const long long taskid = store.begin_activation(
+            actid, wkfid, 1.0, 1, "lig-" + std::to_string(w * kPerWriter + i));
+        store.end_activation(taskid, 2.0, kStatusFinished, 0, 1);
+      }
+    });
+  }
+  // Steering reader: every snapshot must hold only fully-formed rows.
+  std::size_t last = 0;
+  for (int probe = 0; probe < 200; ++probe) {
+    store.with_database([&](sql::Database& db) {
+      const sql::Table& t = db.table("hactivation");
+      const auto c_task = static_cast<std::size_t>(t.column_index("taskid"));
+      EXPECT_GE(t.rows().size(), last);
+      last = t.rows().size();
+      for (const sql::Row& row : t.rows()) {
+        EXPECT_FALSE(row[c_task].is_null());
+        EXPECT_EQ(row.size(), t.columns().size());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  const auto rs = store.query("SELECT count(*) FROM hactivation");
+  EXPECT_EQ(rs.rows[0][0].as_int(), kWriters * kPerWriter);
 }
 
 TEST(Provenance, IdsAreMonotonic) {

@@ -282,6 +282,23 @@ TEST_F(EngineTest, ErrorsOnUnknownEntities) {
   EXPECT_THROW(engine->execute("SELECT vm FROM runs r, vms v"), Error);  // ambiguous
 }
 
+TEST_F(EngineTest, ScalarFunctionArityChecked) {
+  // Regression: floor() with no arguments used to index args[0] out of
+  // bounds instead of raising; every scalar now validates its arity.
+  EXPECT_THROW(engine->execute("SELECT floor() FROM vms"), Error);
+  EXPECT_THROW(engine->execute("SELECT ceil() FROM vms"), Error);
+  EXPECT_THROW(engine->execute("SELECT abs(1, 2) FROM vms"), Error);
+  EXPECT_THROW(engine->execute("SELECT round(1, 2, 3) FROM vms"), Error);
+  EXPECT_THROW(engine->execute("SELECT upper() FROM vms"), Error);
+  EXPECT_THROW(engine->execute("SELECT substr(name) FROM vms"), Error);
+  EXPECT_THROW(engine->execute("SELECT coalesce() FROM vms"), Error);
+  // Null propagates through the merged floor/ceil branch.
+  const ResultSet rs =
+      engine->execute("SELECT floor(null), ceiling(null) FROM vms");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
 TEST_F(EngineTest, DivisionByZeroRejected) {
   EXPECT_THROW(engine->execute("SELECT 1 / 0.0 FROM vms"), Error);
   EXPECT_THROW(engine->execute("SELECT 1 % 0 FROM vms"), Error);
