@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 
 namespace scidock::chaos {
@@ -262,6 +263,68 @@ bool InvariantChecker::check_provenance(const RunSummary& summary,
     if (finished_here > 1) {
       ok = fail(strformat("%s: %d FINISHED records (expected at most one)",
                           where.c_str(), finished_here));
+    }
+  }
+  return ok;
+}
+
+bool InvariantChecker::check_metrics(const RunSummary& summary,
+                                     const obs::MetricsRegistry& metrics,
+                                     prov::ProvenanceStore& store,
+                                     const std::string& workflow_tag) {
+  bool ok = true;
+  const std::string who = "[" + summary.executor + "/" + workflow_tag + "]";
+
+  // ---- SQL side, via the shipped reconciliation queries ----
+  const sql::ResultSet wkf_rs =
+      store.query(prov::workflow_id_sql(workflow_tag));
+  if (wkf_rs.rows.empty()) {
+    return fail(who + " metrics: no hworkflow row for tag");
+  }
+  const long long wkfid = wkf_rs.rows.front().front().as_int();
+
+  const long long sql_started =
+      store.query(prov::activation_count_sql(wkfid)).rows.front().front().as_int();
+  const long long sql_retried =
+      store.query(prov::retried_activation_count_sql(wkfid))
+          .rows.front()
+          .front()
+          .as_int();
+  long long sql_finished = 0, sql_failed = 0, sql_aborted = 0;
+  for (const sql::Row& row :
+       store.query(prov::activations_by_status_sql(wkfid)).rows) {
+    const std::string& status = row[0].as_string();
+    const long long n = row[1].as_int();
+    if (status == prov::kStatusFinished) sql_finished = n;
+    else if (status == prov::kStatusFailed) sql_failed = n;
+    else if (status == prov::kStatusAborted) sql_aborted = n;
+    else ok = fail(who + " metrics: unexpected status " + status + " in SQL");
+  }
+
+  // ---- counter side ----
+  struct Line {
+    const char* counter;
+    long long sql;
+    long long report;
+  };
+  const Line lines[] = {
+      {obs::kActivationsStarted, sql_started,
+       summary.activations_finished + summary.activations_failed +
+           summary.activations_hung},
+      {obs::kActivationsFinished, sql_finished, summary.activations_finished},
+      {obs::kActivationsFailed, sql_failed, summary.activations_failed},
+      {obs::kActivationsAborted, sql_aborted, summary.activations_hung},
+      {obs::kActivationsRetried, sql_retried, -1},  // report has no view
+  };
+  for (const Line& line : lines) {
+    const long long counted = metrics.counter_value(line.counter);
+    if (counted != line.sql) {
+      ok = fail(strformat("%s metrics: %s = %lld but SQL counts %lld",
+                          who.c_str(), line.counter, counted, line.sql));
+    }
+    if (line.report >= 0 && counted != line.report) {
+      ok = fail(strformat("%s metrics: %s = %lld but the report says %lld",
+                          who.c_str(), line.counter, counted, line.report));
     }
   }
   return ok;

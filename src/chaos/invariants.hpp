@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "prov/prov.hpp"
 #include "wf/native_executor.hpp"
 #include "wf/sim_executor.hpp"
@@ -67,6 +68,17 @@ class InvariantChecker {
 
   /// Invariant (c): two same-seed runs must have identical digests.
   bool check_replay(const RunSummary& first, const RunSummary& second);
+
+  /// Invariant (d), metrics <-> provenance reconciliation: the run's
+  /// scidock_executor_* counters must equal SQL counts over the PROV-Wf
+  /// store (prov::activation_count_sql and friends) *and* the report.
+  /// `metrics` must be a registry used for exactly this run — the
+  /// counters are cumulative, so sharing one registry across runs breaks
+  /// the equality by design.
+  bool check_metrics(const RunSummary& summary,
+                     const obs::MetricsRegistry& metrics,
+                     prov::ProvenanceStore& store,
+                     const std::string& workflow_tag);
 
   bool ok() const { return violations_.empty(); }
   const std::vector<std::string>& violations() const { return violations_; }

@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"  // fnv1a64
+#include "util/strings.hpp"
+
+namespace scidock::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto ok_first = [](char c) { return (c >= 'a' && c <= 'z') || c == '_'; };
+  auto ok_rest = [&ok_first](char c) {
+    return ok_first(c) || (c >= '0' && c <= '9');
+  };
+  if (!ok_first(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), ok_rest);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- histogram
+
+HistogramMetric::HistogramMetric(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  SCIDOCK_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                          bounds_.end(),
+                  "histogram bounds must be strictly increasing");
+}
+
+void HistogramMetric::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+long long HistogramMetric::bucket_value(std::size_t i) const {
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::upper_bound(std::size_t i) const {
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> HistogramMetric::default_seconds_bounds() {
+  // Log-spaced: 1ms activations (sim metadata ops) up to the paper's
+  // multi-minute docking runs and 300s hang watchdog.
+  return {0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0};
+}
+
+// ----------------------------------------------------------------- registry
+
+const MetricsRegistry::Shard& MetricsRegistry::shard_for(
+    std::string_view name) const {
+  return shards_[fnv1a64(name) % kShards];
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(std::string_view name) {
+  return shards_[fnv1a64(name) % kShards];
+}
+
+void MetricsRegistry::validate_name(const Shard& shard, std::string_view name,
+                                    std::string_view kind) {
+  SCIDOCK_REQUIRE(valid_metric_name(name),
+                  "metric name '" + std::string(name) +
+                      "' breaks the [a-z_][a-z0-9_]* convention");
+  const bool as_counter = shard.counters.find(name) != shard.counters.end();
+  const bool as_gauge = shard.gauges.find(name) != shard.gauges.end();
+  const bool as_histogram =
+      shard.histograms.find(name) != shard.histograms.end();
+  const bool clash = (as_counter && kind != "counter") ||
+                     (as_gauge && kind != "gauge") ||
+                     (as_histogram && kind != "histogram");
+  SCIDOCK_REQUIRE(!clash, "metric '" + std::string(name) +
+                              "' already registered as a different kind");
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  Shard& shard = shard_for(name);
+  MutexLock lock(shard.mutex);
+  validate_name(shard, name, "counter");
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    it = shard.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+    if (!help.empty()) shard.help.emplace(std::string(name), std::string(help));
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  Shard& shard = shard_for(name);
+  MutexLock lock(shard.mutex);
+  validate_name(shard, name, "gauge");
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    it = shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+    if (!help.empty()) shard.help.emplace(std::string(name), std::string(help));
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            std::vector<double> upper_bounds,
+                                            std::string_view help) {
+  if (upper_bounds.empty()) {
+    upper_bounds = HistogramMetric::default_seconds_bounds();
+  }
+  Shard& shard = shard_for(name);
+  MutexLock lock(shard.mutex);
+  validate_name(shard, name, "histogram");
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms
+             .emplace(std::string(name),
+                      std::make_unique<HistogramMetric>(std::move(upper_bounds)))
+             .first;
+    if (!help.empty()) shard.help.emplace(std::string(name), std::string(help));
+  }
+  return *it->second;
+}
+
+long long MetricsRegistry::counter_value(std::string_view name) const {
+  const Shard& shard = shard_for(name);
+  MutexLock lock(shard.mutex);
+  const auto it = shard.counters.find(name);
+  return it == shard.counters.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const Shard& shard = shard_for(name);
+  MutexLock lock(shard.mutex);
+  const auto it = shard.gauges.find(name);
+  return it == shard.gauges.end() ? 0.0 : it->second->value();
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    n += shard.counters.size() + shard.gauges.size() + shard.histograms.size();
+  }
+  return n;
+}
+
+std::string MetricsRegistry::to_prometheus_text() const {
+  // Collect (name, rendered block) across shards, then sort by name so
+  // shard hashing never leaks into the output.
+  std::vector<std::pair<std::string, std::string>> blocks;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    // Copy of the shard's help map access, valid under the shard lock.
+    const auto help_line = [](const auto& help_map,
+                              const std::string& name) -> std::string {
+      const auto it = help_map.find(name);
+      if (it == help_map.end()) return "";
+      return "# HELP " + name + " " + it->second + "\n";
+    };
+    for (const auto& [name, c] : shard.counters) {
+      blocks.emplace_back(name, help_line(shard.help, name) + "# TYPE " +
+                                    name + " counter\n" +
+                                    strformat("%s %lld\n", name.c_str(),
+                                              c->value()));
+    }
+    for (const auto& [name, g] : shard.gauges) {
+      blocks.emplace_back(name, help_line(shard.help, name) + "# TYPE " +
+                                    name + " gauge\n" +
+                                    strformat("%s %.17g\n", name.c_str(),
+                                              g->value()));
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      std::string block =
+          help_line(shard.help, name) + "# TYPE " + name + " histogram\n";
+      long long cumulative = 0;
+      for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+        cumulative += h->bucket_value(i);
+        const double ub = h->upper_bound(i);
+        const std::string le =
+            std::isinf(ub) ? std::string("+Inf") : strformat("%g", ub);
+        block += strformat("%s_bucket{le=\"%s\"} %lld\n", name.c_str(),
+                           le.c_str(), cumulative);
+      }
+      block += strformat("%s_sum %.17g\n", name.c_str(), h->sum());
+      block += strformat("%s_count %lld\n", name.c_str(), h->count());
+      blocks.emplace_back(name, std::move(block));
+    }
+  }
+  std::sort(blocks.begin(), blocks.end());
+  std::string out;
+  for (auto& [name, block] : blocks) out += block;
+  return out;
+}
+
+}  // namespace scidock::obs

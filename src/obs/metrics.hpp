@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file metrics.hpp
+/// MetricsRegistry: named counters, gauges and histograms for runtime
+/// observability (the SciCumulus monitor's "how is the run going" view,
+/// without issuing provenance SQL on the hot path).
+///
+/// Design: the registry only pays a lock on *registration* — name lookup
+/// goes through one of kShards mutex-guarded maps, and the returned
+/// handle is a stable pointer the caller keeps. Updates on the handles
+/// themselves are lock-free atomics, so executors can increment from any
+/// worker thread at nanosecond cost. Export is Prometheus text format.
+///
+/// Naming convention (enforced: [a-z_][a-z0-9_]*):
+///   scidock_<area>_<noun>_total            counters (monotone)
+///   scidock_<area>_<noun>[_<unit>]         gauges
+///   scidock_<area>_<noun>_seconds          histograms (duration-valued)
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace scidock::obs {
+
+/// Monotone integer counter. Lock-free; safe from any thread.
+class Counter {
+ public:
+  void inc(long long delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+/// Double-valued gauge (set / add). Lock-free via CAS.
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-boundary histogram (Prometheus semantics: cumulative buckets on
+/// export, an implicit +Inf bucket, plus _sum and _count). Lock-free.
+class HistogramMetric {
+ public:
+  /// `upper_bounds` must be strictly increasing; an +Inf bucket is
+  /// appended automatically.
+  explicit HistogramMetric(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  std::size_t bucket_count() const { return counts_.size(); }  ///< incl. +Inf
+  /// Non-cumulative count of bucket `i` (the last bucket is +Inf).
+  long long bucket_value(std::size_t i) const;
+  double upper_bound(std::size_t i) const;  ///< +Inf for the last bucket
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Default duration boundaries (seconds), log-spaced 1ms .. ~17min.
+  static std::vector<double> default_seconds_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<long long>> counts_;  ///< bounds_.size() + 1
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe registry of named metrics. Handles returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime
+/// (metrics are never removed).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Throws InvalidStateError if `name` breaks the
+  /// [a-z_][a-z0-9_]* convention or is already registered as another kind.
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  /// Empty `upper_bounds` selects HistogramMetric::default_seconds_bounds().
+  HistogramMetric& histogram(std::string_view name,
+                             std::vector<double> upper_bounds = {},
+                             std::string_view help = "");
+
+  /// Read-side lookups for tests and reconciliation: value of a counter /
+  /// gauge, or 0 when the name was never registered.
+  long long counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  /// Number of registered series (counters + gauges + histograms).
+  std::size_t series_count() const;
+
+  /// Prometheus text exposition format, series sorted by name so the
+  /// output is diff-stable.
+  std::string to_prometheus_text() const;
+
+ private:
+  struct Shard {
+    mutable Mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+        SCIDOCK_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+        SCIDOCK_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+        histograms SCIDOCK_GUARDED_BY(mutex);
+    std::map<std::string, std::string, std::less<>> help
+        SCIDOCK_GUARDED_BY(mutex);
+  };
+  static constexpr std::size_t kShards = 8;
+
+  const Shard& shard_for(std::string_view name) const;
+  Shard& shard_for(std::string_view name);
+  /// Throws unless `name` matches the naming convention and is not yet
+  /// registered in `shard` under a different kind than `kind`.
+  static void validate_name(const Shard& shard, std::string_view name,
+                            std::string_view kind)
+      SCIDOCK_REQUIRES(shard.mutex);
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace scidock::obs

@@ -1,0 +1,48 @@
+#include "obs/obs.hpp"
+
+namespace scidock::obs {
+
+ExecutorCounters executor_counters(MetricsRegistry* registry) {
+  ExecutorCounters c;
+  if (registry == nullptr) return c;
+  c.started = &registry->counter(
+      kActivationsStarted, "activation attempts dispatched (all outcomes)");
+  c.finished =
+      &registry->counter(kActivationsFinished, "attempts ending FINISHED");
+  c.failed = &registry->counter(kActivationsFailed,
+                                "attempts ending FAILED (re-executed)");
+  c.aborted = &registry->counter(
+      kActivationsAborted, "attempts ending ABORTED (hang watchdog)");
+  c.retried = &registry->counter(kActivationsRetried,
+                                 "attempts with attempt number > 1");
+  c.tuples_completed = &registry->counter(
+      kTuplesCompleted, "input tuples that traversed their whole chain");
+  c.tuples_lost =
+      &registry->counter(kTuplesLost, "input tuples that exhausted retries");
+  c.activation_seconds = &registry->histogram(
+      kActivationSeconds, {}, "duration of FINISHED activation attempts");
+  return c;
+}
+
+void instrument_thread_pool(ThreadPool& pool, MetricsRegistry& registry) {
+  Gauge* depth = &registry.gauge("scidock_pool_queue_depth",
+                                 "work-queue depth after latest enqueue");
+  Counter* tasks =
+      &registry.counter("scidock_pool_tasks_total", "tasks executed");
+  HistogramMetric* wait = &registry.histogram(
+      "scidock_pool_queue_wait_seconds", {}, "submit-to-start latency");
+  HistogramMetric* exec = &registry.histogram("scidock_pool_task_seconds", {},
+                                              "task execution time");
+  ThreadPool::StatsHook hook;
+  hook.enqueued = [depth](std::size_t queue_depth) {
+    depth->set(static_cast<double>(queue_depth));
+  };
+  hook.finished = [tasks, wait, exec](double wait_s, double exec_s) {
+    tasks->inc();
+    wait->observe(wait_s);
+    exec->observe(exec_s);
+  };
+  pool.set_stats_hook(std::move(hook));
+}
+
+}  // namespace scidock::obs

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file obs.hpp
+/// Observability context handed to executors and services: a (possibly
+/// null) TraceRecorder plus a (possibly null) MetricsRegistry. Both null
+/// — the default — means zero instrumentation overhead beyond a pointer
+/// test per site.
+///
+/// Canonical metric names live here so the executors, the CLI and the
+/// provenance-reconciliation checker agree on them; reconciliation
+/// depends on the executor counters matching SQL over the PROV-Wf store
+/// row for row (DESIGN.md §9).
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scidock::obs {
+
+struct Observability {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  explicit operator bool() const {
+    return trace != nullptr || metrics != nullptr;
+  }
+};
+
+// ---- executor counters (reconciled against PROV-Wf SQL) ----
+// started  == count(*)                     over hactivation rows of the run
+// finished == count(*) WHERE status = 'FINISHED'
+// failed   == count(*) WHERE status = 'FAILED'
+// aborted  == count(*) WHERE status = 'ABORTED'
+// retried  == count(*) WHERE attempts > 1
+inline constexpr const char* kActivationsStarted =
+    "scidock_executor_activations_started_total";
+inline constexpr const char* kActivationsFinished =
+    "scidock_executor_activations_finished_total";
+inline constexpr const char* kActivationsFailed =
+    "scidock_executor_activations_failed_total";
+inline constexpr const char* kActivationsAborted =
+    "scidock_executor_activations_aborted_total";
+inline constexpr const char* kActivationsRetried =
+    "scidock_executor_activations_retried_total";
+inline constexpr const char* kTuplesCompleted =
+    "scidock_executor_tuples_completed_total";
+inline constexpr const char* kTuplesLost =
+    "scidock_executor_tuples_lost_total";
+inline constexpr const char* kActivationSeconds =
+    "scidock_executor_activation_seconds";
+
+/// Pre-resolved executor counter handles: both executors increment the
+/// same series; resolving once keeps the hot path at one atomic add.
+struct ExecutorCounters {
+  Counter* started = nullptr;
+  Counter* finished = nullptr;
+  Counter* failed = nullptr;
+  Counter* aborted = nullptr;
+  Counter* retried = nullptr;
+  Counter* tuples_completed = nullptr;
+  Counter* tuples_lost = nullptr;
+  HistogramMetric* activation_seconds = nullptr;
+};
+
+/// Registers (or finds) the executor series in `registry`. A null
+/// registry yields all-null handles; increment sites guard on that.
+ExecutorCounters executor_counters(MetricsRegistry* registry);
+
+/// Install queue-depth / task-latency instrumentation on a thread pool:
+///   scidock_pool_queue_depth            gauge   (depth after each enqueue)
+///   scidock_pool_tasks_total            counter
+///   scidock_pool_queue_wait_seconds     histogram (submit -> start)
+///   scidock_pool_task_seconds           histogram (start -> finish)
+/// Replaces any previously installed stats hook.
+void instrument_thread_pool(ThreadPool& pool, MetricsRegistry& registry);
+
+}  // namespace scidock::obs

@@ -7,6 +7,32 @@ namespace scidock::prov {
 
 using sql::Value;
 
+std::string workflow_id_sql(std::string_view tag) {
+  return strformat(
+      "SELECT wkfid FROM hworkflow WHERE tag = '%s' "
+      "ORDER BY wkfid DESC LIMIT 1",
+      std::string(tag).c_str());
+}
+
+std::string activation_count_sql(long long wkfid) {
+  return strformat("SELECT count(*) FROM hactivation WHERE wkfid = %lld",
+                   wkfid);
+}
+
+std::string activations_by_status_sql(long long wkfid) {
+  return strformat(
+      "SELECT status, count(*) FROM hactivation WHERE wkfid = %lld "
+      "GROUP BY status ORDER BY status",
+      wkfid);
+}
+
+std::string retried_activation_count_sql(long long wkfid) {
+  return strformat(
+      "SELECT count(*) FROM hactivation "
+      "WHERE wkfid = %lld AND attempts > 1",
+      wkfid);
+}
+
 ProvenanceStore::ProvenanceStore() {
   db_.create_table("hmachine", {"vmid", "type", "cores", "speed_factor"});
   db_.create_table("hworkflow",
@@ -21,8 +47,31 @@ ProvenanceStore::ProvenanceStore() {
                    {"valueid", "taskid", "key", "value_num", "value_text"});
 }
 
+void ProvenanceStore::set_metrics(obs::MetricsRegistry* registry) {
+  MutexLock lock(mutex_);
+  if (registry == nullptr) {
+    rates_ = RateCounters{};
+    return;
+  }
+  rates_.workflow_rows = &registry->counter("scidock_prov_workflow_rows_total",
+                                            "hworkflow rows recorded");
+  rates_.activity_rows = &registry->counter("scidock_prov_activity_rows_total",
+                                            "hactivity rows recorded");
+  rates_.activation_rows = &registry->counter(
+      "scidock_prov_activation_rows_total", "hactivation rows recorded");
+  rates_.machine_rows = &registry->counter("scidock_prov_machine_rows_total",
+                                           "hmachine rows recorded");
+  rates_.file_rows =
+      &registry->counter("scidock_prov_file_rows_total", "hfile rows recorded");
+  rates_.value_rows = &registry->counter("scidock_prov_value_rows_total",
+                                         "hvalue rows recorded");
+  rates_.queries = &registry->counter("scidock_prov_queries_total",
+                                      "SQL queries served by query()");
+}
+
 sql::ResultSet ProvenanceStore::query(std::string_view sql_text) {
   MutexLock lock(mutex_);
+  if (rates_.queries != nullptr) rates_.queries->inc();
   sql::Engine engine(db_);
   return engine.execute(sql_text);
 }
@@ -32,6 +81,7 @@ long long ProvenanceStore::begin_workflow(std::string_view tag,
                                           std::string_view expdir, double now) {
   MutexLock lock(mutex_);
   const long long id = next_wkfid_++;
+  if (rates_.workflow_rows != nullptr) rates_.workflow_rows->inc();
   db_.table("hworkflow")
       .insert({Value(id), Value(std::string(tag)), Value(std::string(description)),
                Value(std::string(expdir)), Value(now), Value()});
@@ -57,6 +107,7 @@ long long ProvenanceStore::register_activity(long long wkfid, std::string_view t
                                              std::string_view op) {
   MutexLock lock(mutex_);
   const long long id = next_actid_++;
+  if (rates_.activity_rows != nullptr) rates_.activity_rows->inc();
   db_.table("hactivity")
       .insert({Value(id), Value(wkfid), Value(std::string(tag)),
                Value(std::string(activation_command)), Value(std::string(op))});
@@ -68,6 +119,7 @@ long long ProvenanceStore::begin_activation(long long actid, long long wkfid,
                                             std::string_view workload) {
   MutexLock lock(mutex_);
   const long long id = next_taskid_++;
+  if (rates_.activation_rows != nullptr) rates_.activation_rows->inc();
   db_.table("hactivation")
       .insert({Value(id), Value(actid), Value(wkfid), Value(now), Value(),
                Value(std::string(kStatusRunning)), Value(vmid), Value(0),
@@ -96,6 +148,7 @@ void ProvenanceStore::end_activation(long long taskid, double now,
 void ProvenanceStore::record_machine(long long vmid, std::string_view type,
                                      int cores, double speed_factor) {
   MutexLock lock(mutex_);
+  if (rates_.machine_rows != nullptr) rates_.machine_rows->inc();
   db_.table("hmachine")
       .insert({Value(vmid), Value(std::string(type)), Value(cores), Value(speed_factor)});
 }
@@ -104,6 +157,7 @@ void ProvenanceStore::record_file(long long wkfid, long long actid,
                                   long long taskid, std::string_view fname,
                                   std::size_t fsize, std::string_view fdir) {
   MutexLock lock(mutex_);
+  if (rates_.file_rows != nullptr) rates_.file_rows->inc();
   db_.table("hfile").insert({Value(next_fileid_++), Value(wkfid), Value(actid),
                              Value(taskid), Value(std::string(fname)),
                              Value(fsize), Value(std::string(fdir))});
@@ -160,6 +214,7 @@ std::string ProvenanceStore::export_prov_n() {
 void ProvenanceStore::record_value(long long taskid, std::string_view key,
                                    double value_num, std::string_view value_text) {
   MutexLock lock(mutex_);
+  if (rates_.value_rows != nullptr) rates_.value_rows->inc();
   db_.table("hvalue").insert({Value(next_valueid_++), Value(taskid),
                               Value(std::string(key)), Value(value_num),
                               Value(std::string(value_text))});

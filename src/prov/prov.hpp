@@ -22,6 +22,7 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "sql/engine.hpp"
 #include "sql/table.hpp"
 #include "util/thread_annotations.hpp"
@@ -34,9 +35,27 @@ inline constexpr std::string_view kStatusFinished = "FINISHED";
 inline constexpr std::string_view kStatusFailed = "FAILED";
 inline constexpr std::string_view kStatusAborted = "ABORTED";  ///< hang killed
 
+/// SQL builders for metrics <-> provenance reconciliation (DESIGN.md §9).
+/// The counts these return must equal the scidock_executor_* counters of
+/// the run — chaos::InvariantChecker::check_metrics automates the
+/// comparison.
+/// Latest wkfid recorded under `tag` (tags must not contain quotes).
+std::string workflow_id_sql(std::string_view tag);
+/// count(*) over the run's hactivation rows (== activations started).
+std::string activation_count_sql(long long wkfid);
+/// (status, count(*)) per status for the run.
+std::string activations_by_status_sql(long long wkfid);
+/// count(*) of the run's rows with attempts > 1 (== activations retried).
+std::string retried_activation_count_sql(long long wkfid);
+
 class ProvenanceStore {
  public:
   ProvenanceStore();
+
+  /// Attach (or detach, with nullptr) a metrics registry; the store then
+  /// counts every recorded row and query under scidock_prov_*. Call
+  /// before the run starts — installation is not retroactive.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   /// Run any SQL against the repository (the user-facing query interface;
   /// safe to call *during* workflow execution — the paper's runtime
@@ -83,8 +102,21 @@ class ProvenanceStore {
   }
 
  private:
+  /// Row/query-rate counters resolved by set_metrics; null when metrics
+  /// are off. Bumped under mutex_ (the recording API always holds it).
+  struct RateCounters {
+    obs::Counter* workflow_rows = nullptr;
+    obs::Counter* activity_rows = nullptr;
+    obs::Counter* activation_rows = nullptr;
+    obs::Counter* machine_rows = nullptr;
+    obs::Counter* file_rows = nullptr;
+    obs::Counter* value_rows = nullptr;
+    obs::Counter* queries = nullptr;
+  };
+
   Mutex mutex_;
   sql::Database db_ SCIDOCK_GUARDED_BY(mutex_);
+  RateCounters rates_ SCIDOCK_GUARDED_BY(mutex_);
   long long next_wkfid_ SCIDOCK_GUARDED_BY(mutex_) = 1;
   long long next_actid_ SCIDOCK_GUARDED_BY(mutex_) = 1;
   long long next_taskid_ SCIDOCK_GUARDED_BY(mutex_) = 1;

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "prov/prov.hpp"
 #include "util/strings.hpp"
 
 namespace scidock::core {
@@ -172,6 +173,14 @@ std::vector<ShippedQuery> shipped_queries() {
       {"steering-longest-activations", steering_longest_activations(),
        "prov"},
       {"screen-summary", screen_summary_query(), "rel"},
+      // Metrics <-> provenance reconciliation queries (DESIGN.md §9);
+      // shipping them keeps the lint gate on their syntax.
+      {"reconcile-workflow-id", prov::workflow_id_sql("SciDock"), "prov"},
+      {"reconcile-activation-count", prov::activation_count_sql(1), "prov"},
+      {"reconcile-activations-by-status", prov::activations_by_status_sql(1),
+       "prov"},
+      {"reconcile-retried-activations",
+       prov::retried_activation_count_sql(1), "prov"},
   };
 }
 

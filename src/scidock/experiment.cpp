@@ -36,12 +36,17 @@ Experiment make_experiment(const std::vector<std::string>& receptors,
 }
 
 wf::NativeReport run_native(Experiment& exp, int threads,
-                            const std::string& workflow_tag) {
+                            const std::string& workflow_tag,
+                            obs::Observability obs) {
   wf::NativeExecutorOptions opts;
   opts.threads = threads;
   opts.expdir = exp.options.expdir;
+  opts.obs = obs;
+  exp.prov->set_metrics(obs.metrics);
   wf::NativeExecutor executor(exp.pipeline, *exp.fs, *exp.prov, opts);
-  return executor.run(exp.pairs, workflow_tag);
+  wf::NativeReport report = executor.run(exp.pairs, workflow_tag);
+  exp.prov->set_metrics(nullptr);
+  return report;
 }
 
 wf::SimExecutorOptions default_sim_options(int virtual_cores,
@@ -67,7 +72,9 @@ wf::SimReport run_simulated(const Experiment& exp, int virtual_cores,
                             wf::SimExecutorOptions sim_options,
                             const std::string& workflow_tag) {
   if (sim_options.fleet.empty()) {
+    const obs::Observability obs = sim_options.obs;
     sim_options = default_sim_options(virtual_cores, sim_options.seed);
+    sim_options.obs = obs;
   }
   wf::SimulatedExecutor executor(exp.pipeline,
                                  cloud::CostModel::scidock_default(),

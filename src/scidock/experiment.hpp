@@ -35,8 +35,11 @@ Experiment make_experiment(const std::vector<std::string>& receptors,
                            std::size_t max_pairs, ScidockOptions options = {});
 
 /// Run the experiment natively (real docking) on `threads` workers.
+/// `obs` (optional) attaches tracing/metrics sinks to the executor and
+/// the provenance store for the duration of the run.
 wf::NativeReport run_native(Experiment& exp, int threads,
-                            const std::string& workflow_tag = "SciDock");
+                            const std::string& workflow_tag = "SciDock",
+                            obs::Observability obs = {});
 
 /// Replay the experiment on the cloud simulator with `virtual_cores`
 /// total cores (the paper's 2..128 sweep). The pipeline's routing fields

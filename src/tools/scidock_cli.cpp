@@ -10,17 +10,26 @@
 // `dock` and `screen` run the real docking engines natively; `sweep`,
 // `query` and `prov-export` replay on the cloud simulator with full
 // provenance capture.
+//
+// `screen` and `sweep` accept --trace-out FILE (Chrome chrome://tracing
+// JSON) and --metrics-out FILE (Prometheus text). Both outputs are
+// self-checked before writing: the trace must round-trip through the
+// bundled parser with a well-nested span tree, and screen's activation
+// counters must reconcile exactly with SQL over the PROV-Wf store.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "chaos/invariants.hpp"
 #include "data/table2.hpp"
 #include "dock/autodock4.hpp"
 #include "dock/dlg.hpp"
 #include "dock/vina.hpp"
 #include "mol/prepare.hpp"
+#include "obs/obs.hpp"
 #include "scidock/analysis.hpp"
 #include "scidock/experiment.hpp"
 #include "util/strings.hpp"
@@ -39,7 +48,10 @@ int usage() {
                "  sweep [--pairs N] [--engine ad4|vina] [--cores 2,4,8,...]\n"
                "  query \"<SQL>\" [--pairs N]\n"
                "  spec\n"
-               "  prov-export [--pairs N]\n");
+               "  prov-export [--pairs N]\n"
+               "screen/sweep also take:\n"
+               "  --trace-out FILE    Chrome chrome://tracing JSON\n"
+               "  --metrics-out FILE  Prometheus text metrics\n");
   return 2;
 }
 
@@ -50,6 +62,70 @@ std::string flag(const std::vector<std::string>& args, const std::string& name,
     if (args[i] == "--" + name) return args[i + 1];
   }
   return fallback;
+}
+
+/// Observability sinks requested on the command line. Null members mean
+/// the corresponding flag was absent (zero instrumentation cost).
+struct ObsSinks {
+  std::string trace_path;
+  std::string metrics_path;
+  std::unique_ptr<obs::TraceRecorder> trace;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+
+  obs::Observability view() { return {trace.get(), metrics.get()}; }
+};
+
+ObsSinks obs_sinks(const std::vector<std::string>& args) {
+  ObsSinks s;
+  s.trace_path = flag(args, "trace-out", "");
+  s.metrics_path = flag(args, "metrics-out", "");
+  if (!s.trace_path.empty()) s.trace = std::make_unique<obs::TraceRecorder>();
+  if (!s.metrics_path.empty()) {
+    s.metrics = std::make_unique<obs::MetricsRegistry>();
+  }
+  return s;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "scidock_cli: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+/// Validate and write the requested observability outputs. The trace is
+/// proven Chrome-loadable by parsing it back and checking the span tree
+/// is well-nested before it touches disk.
+int flush_obs(ObsSinks& s) {
+  if (s.trace != nullptr) {
+    const obs::SpanTree tree = obs::build_span_tree(s.trace->events());
+    if (!tree.errors.empty()) {
+      for (const std::string& e : tree.errors) {
+        std::fprintf(stderr, "scidock_cli: trace self-check: %s\n", e.c_str());
+      }
+      return 1;
+    }
+    const std::string json = s.trace->to_chrome_json();
+    if (obs::parse_chrome_trace(json).size() != s.trace->event_count()) {
+      std::fprintf(stderr,
+                   "scidock_cli: trace self-check: round-trip lost events\n");
+      return 1;
+    }
+    if (!write_file(s.trace_path, json)) return 1;
+    std::printf("trace: %zu events (%zu spans) -> %s\n",
+                s.trace->event_count(), tree.span_count(),
+                s.trace_path.c_str());
+  }
+  if (s.metrics != nullptr) {
+    if (!write_file(s.metrics_path, s.metrics->to_prometheus_text())) return 1;
+    std::printf("metrics: %zu series -> %s\n", s.metrics->series_count(),
+                s.metrics_path.c_str());
+  }
+  return 0;
 }
 
 core::EngineMode engine_mode(const std::string& name) {
@@ -95,9 +171,29 @@ int cmd_screen(const std::vector<std::string>& args) {
                                 data::table2_receptors().size()));
   core::Experiment exp =
       core::make_experiment(receptors, data::table3_ligands(), 0, options);
-  const wf::NativeReport report = core::run_native(exp, threads);
+  ObsSinks sinks = obs_sinks(args);
+  const wf::NativeReport report =
+      core::run_native(exp, threads, "SciDock", sinks.view());
   std::printf("%zu pairs docked in %.1f s (%lld lost)\n",
               report.output.size(), report.wall_seconds, report.tuples_lost);
+
+  // With metrics on, prove the counters against the provenance store
+  // before reporting success (the paper's provenance is the ground truth).
+  if (sinks.metrics != nullptr) {
+    chaos::InvariantChecker checker;
+    wf::NativeExecutorOptions defaults;  // run_native used these defaults
+    const chaos::RunSummary summary =
+        chaos::summarize(report, defaults, exp.pairs.size());
+    if (!checker.check_metrics(summary, *sinks.metrics, *exp.prov,
+                               "SciDock")) {
+      std::fprintf(stderr, "scidock_cli: metrics reconciliation failed:\n%s",
+                   checker.to_string().c_str());
+      return 1;
+    }
+    std::printf("metrics reconcile with provenance (%lld activations)\n",
+                sinks.metrics->counter_value(obs::kActivationsStarted));
+  }
+  if (const int rc = flush_obs(sinks); rc != 0) return rc;
 
   // Summarise with an SRQuery over the output relation.
   const wf::Relation summary =
@@ -119,18 +215,31 @@ int cmd_sweep(const std::vector<std::string>& args) {
   core::Experiment exp = core::make_experiment(
       data::table2_receptors(), data::table2_ligands(),
       static_cast<std::size_t>(pairs), options);
+  std::vector<int> core_counts;
+  for (const std::string& spec :
+       split(flag(args, "cores", "2,4,8,16,32,64,128"), ',')) {
+    const int cores = std::atoi(spec.c_str());
+    if (cores > 0) core_counts.push_back(cores);
+  }
+  ObsSinks sinks = obs_sinks(args);
   std::printf("%6s %14s %10s\n", "cores", "TET", "cost");
   double tet2 = 0.0;
-  for (const std::string& spec : split(flag(args, "cores", "2,4,8,16,32,64,128"), ',')) {
-    const int cores = std::atoi(spec.c_str());
-    if (cores <= 0) continue;
-    const wf::SimReport r = core::run_simulated(exp, cores);
+  for (std::size_t i = 0; i < core_counts.size(); ++i) {
+    const int cores = core_counts[i];
+    wf::SimExecutorOptions sim_options;
+    // Metrics accumulate over the whole sweep; the trace holds only the
+    // final point (each sim run restarts simulated time at zero, so
+    // stacking several runs on one timeline would interleave them).
+    sim_options.obs.metrics = sinks.metrics.get();
+    if (i + 1 == core_counts.size()) sim_options.obs.trace = sinks.trace.get();
+    const wf::SimReport r =
+        core::run_simulated(exp, cores, nullptr, std::move(sim_options));
     if (tet2 == 0.0) tet2 = r.total_execution_time_s * cores / 2.0;
     std::printf("%6d %14s %9.0f$\n", cores,
                 human_duration(r.total_execution_time_s).c_str(),
                 r.cloud_cost_usd);
   }
-  return 0;
+  return flush_obs(sinks);
 }
 
 /// Run a small simulated screening with provenance, then apply `fn`.

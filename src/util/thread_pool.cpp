@@ -19,6 +19,11 @@ void ThreadPool::set_task_hook(TaskHook hook) {
   task_hook_ = std::move(hook);
 }
 
+void ThreadPool::set_stats_hook(StatsHook hook) {
+  MutexLock lock(mutex_);
+  stats_hook_ = std::move(hook);
+}
+
 ThreadPool::~ThreadPool() {
   {
     MutexLock lock(mutex_);

@@ -9,6 +9,7 @@
 /// would be complexity without measurable benefit; tasks in scidock are
 /// coarse (whole activity executions or whole MC chains).
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -43,26 +44,47 @@ class ThreadPool {
   /// Applies to tasks submitted after the call.
   void set_task_hook(TaskHook hook);
 
+  /// Observability callbacks, invoked outside the pool lock. `enqueued`
+  /// fires after a task is queued with the resulting queue depth;
+  /// `finished` fires when a task completes (or throws) with its
+  /// queue-wait and execution wall times. Both must be thread-safe; the
+  /// obs layer installs them via obs::instrument_thread_pool. Applies to
+  /// tasks submitted after the call.
+  struct StatsHook {
+    std::function<void(std::size_t queue_depth)> enqueued;
+    std::function<void(double wait_s, double exec_s)> finished;
+  };
+  void set_stats_hook(StatsHook hook);
+
   /// Enqueue a task; the future reports its result or exception.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     TaskHook hook;
+    StatsHook stats;
     {
       MutexLock lock(mutex_);
       hook = task_hook_;
+      stats = stats_hook_;
     }
+    const auto enqueued_at = std::chrono::steady_clock::now();
     auto task = std::make_shared<std::packaged_task<R()>>(
-        [hook = std::move(hook), fn = std::forward<F>(fn)]() mutable -> R {
+        [hook = std::move(hook), finished = std::move(stats.finished),
+         enqueued_at, fn = std::forward<F>(fn)]() mutable -> R {
+          TaskTimer timer{std::move(finished), enqueued_at,
+                          std::chrono::steady_clock::now()};
           if (hook) hook();
           return fn();
         });
     std::future<R> fut = task->get_future();
+    std::size_t depth = 0;
     {
       MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
+      depth = queue_.size();
     }
     cv_.notify_one();
+    if (stats.enqueued) stats.enqueued(depth);
     return fut;
   }
 
@@ -71,6 +93,20 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  /// Fires `finished` (if set) when the task body leaves scope — normal
+  /// return and exception alike — with (queue wait, execution) seconds.
+  struct TaskTimer {
+    std::function<void(double, double)> finished;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point started;
+    ~TaskTimer() {
+      if (!finished) return;
+      const auto now = std::chrono::steady_clock::now();
+      finished(std::chrono::duration<double>(started - enqueued).count(),
+               std::chrono::duration<double>(now - started).count());
+    }
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;  ///< written only in the constructor
@@ -78,6 +114,7 @@ class ThreadPool {
   CondVar cv_;
   std::deque<std::function<void()>> queue_ SCIDOCK_GUARDED_BY(mutex_);
   TaskHook task_hook_ SCIDOCK_GUARDED_BY(mutex_);
+  StatsHook stats_hook_ SCIDOCK_GUARDED_BY(mutex_);
   bool stop_ SCIDOCK_GUARDED_BY(mutex_) = false;
 };
 

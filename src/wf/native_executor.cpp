@@ -31,6 +31,10 @@ NativeExecutor::NativeExecutor(const Pipeline& pipeline,
 NativeReport NativeExecutor::run(const Relation& input,
                                  const std::string& workflow_tag) {
   const double t0 = wall_now();
+  const obs::ExecutorCounters counters =
+      obs::executor_counters(options_.obs.metrics);
+  obs::ScopedSpan run_span(options_.obs.trace, "native-run", "executor",
+                           {{"workflow", workflow_tag}});
   const long long wkfid =
       prov_.begin_workflow(workflow_tag, "native execution", options_.expdir, 0.0);
   std::map<std::string, long long> actids;
@@ -82,6 +86,14 @@ NativeReport NativeExecutor::run(const Relation& input,
           ctx.taskid = prov_.begin_activation(
               ctx.actid, wkfid, start, /*vmid=*/0,
               in_tuple.get("pair").value_or(""));
+          obs::ScopedSpan span(
+              options_.obs.trace, st.tag, "activation",
+              {{"pair", in_tuple.get("pair").value_or("")},
+               {"attempt", std::to_string(attempt)}});
+          if (counters.started != nullptr) {
+            counters.started->inc();
+            if (attempt > 1) counters.retried->inc();
+          }
           auto notify = [&](bool success) {
             if (!options_.monitor) return;
             try {
@@ -106,6 +118,8 @@ NativeReport NativeExecutor::run(const Relation& input,
                 std::lock_guard lock(report_mutex);
                 ++report.activations_hung;
               }
+              if (counters.aborted != nullptr) counters.aborted->inc();
+              span.set_arg("status", std::string(prov::kStatusAborted));
               notify(false);
               continue;
             }
@@ -117,6 +131,8 @@ NativeReport NativeExecutor::run(const Relation& input,
                 std::lock_guard lock(report_mutex);
                 ++report.activations_failed;
               }
+              if (counters.failed != nullptr) counters.failed->inc();
+              span.set_arg("status", std::string(prov::kStatusFailed));
               notify(false);
               continue;
             }
@@ -125,11 +141,17 @@ NativeReport NativeExecutor::run(const Relation& input,
             std::vector<Tuple> out = st.impl(in_tuple, ctx);
             prov_.end_activation(ctx.taskid, wall_now() - t0,
                                  prov::kStatusFinished, 0, attempt);
+            const double elapsed = wall_now() - t0 - start;
             {
               std::lock_guard lock(report_mutex);
               ++report.activations_finished;
-              report.per_activity_seconds[st.tag].add(wall_now() - t0 - start);
+              report.per_activity_seconds[st.tag].add(elapsed);
             }
+            if (counters.finished != nullptr) {
+              counters.finished->inc();
+              counters.activation_seconds->observe(elapsed);
+            }
+            span.set_arg("status", std::string(prov::kStatusFinished));
             notify(true);
             for (Tuple& o : out) produced.push_back(std::move(o));
             done = true;
@@ -141,10 +163,13 @@ NativeReport NativeExecutor::run(const Relation& input,
               std::lock_guard lock(report_mutex);
               ++report.activations_failed;
             }
+            if (counters.failed != nullptr) counters.failed->inc();
+            span.set_arg("status", std::string(prov::kStatusFailed));
             notify(false);
           }
         }
         if (!done) {
+          if (counters.tuples_lost != nullptr) counters.tuples_lost->inc();
           std::lock_guard lock(report_mutex);
           ++report.tuples_lost;
           report.failure_messages.push_back(last_error);
@@ -162,6 +187,9 @@ NativeReport NativeExecutor::run(const Relation& input,
     }
     // Only tuples that traversed the whole chain appear in the output.
     if (stage_tag == kEndOfPipeline) {
+      if (counters.tuples_completed != nullptr) {
+        counters.tuples_completed->inc();
+      }
       final_tuples[tuple_idx] = std::move(frontier);
     }
   };
@@ -169,6 +197,9 @@ NativeReport NativeExecutor::run(const Relation& input,
   if (options_.threads > 1) {
     ThreadPool pool(static_cast<std::size_t>(options_.threads));
     if (options_.pool_task_hook) pool.set_task_hook(options_.pool_task_hook);
+    if (options_.obs.metrics != nullptr) {
+      obs::instrument_thread_pool(pool, *options_.obs.metrics);
+    }
     pool.parallel_for(input.size(), process_tuple);
   } else {
     for (std::size_t i = 0; i < input.size(); ++i) process_tuple(i);

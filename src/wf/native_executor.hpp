@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "prov/prov.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -57,6 +58,10 @@ struct NativeExecutorOptions {
   /// internal thread pool (scheduling-delay injection). Both optional.
   FaultInjectorFn fault_injector;
   ThreadPool::TaskHook pool_task_hook;
+  /// Optional tracing/metrics sinks (see obs/obs.hpp). When set, the run
+  /// emits one real-time span per activation attempt plus the executor
+  /// counter series reconciled against PROV-Wf by the chaos checker.
+  obs::Observability obs;
 };
 
 struct NativeReport {

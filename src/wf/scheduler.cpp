@@ -7,8 +7,8 @@
 
 namespace scidock::wf {
 
-std::size_t GreedyCostScheduler::pick(const std::vector<PendingActivation>& queue,
-                                      const cloud::VmInstance& vm) {
+std::size_t GreedyCostScheduler::pick_impl(
+    const std::vector<PendingActivation>& queue, const cloud::VmInstance& vm) {
   SCIDOCK_ASSERT(!queue.empty());
   // Re-executions first: the paper's fault tolerance resubmits failed
   // activations promptly rather than appending them to the tail.
@@ -33,8 +33,8 @@ std::size_t GreedyCostScheduler::pick(const std::vector<PendingActivation>& queu
   return best;
 }
 
-std::size_t FifoScheduler::pick(const std::vector<PendingActivation>& queue,
-                                const cloud::VmInstance& /*vm*/) {
+std::size_t FifoScheduler::pick_impl(const std::vector<PendingActivation>& queue,
+                                     const cloud::VmInstance& /*vm*/) {
   SCIDOCK_ASSERT(!queue.empty());
   return 0;
 }

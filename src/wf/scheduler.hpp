@@ -23,15 +23,46 @@ struct PendingActivation {
   int attempts = 0;            ///< prior failed attempts (re-executions)
 };
 
+/// Placement decisions accumulated across a run, surfaced by the obs
+/// layer as scidock_sched_* metrics.
+struct SchedulerStats {
+  long long picks = 0;
+  long long reexecution_picks = 0;  ///< picked activation had attempts > 0
+  long long queued_seen = 0;        ///< sum of queue lengths at pick time
+
+  double mean_queue_length() const {
+    return picks > 0 ? static_cast<double>(queued_seen) /
+                           static_cast<double>(picks)
+                     : 0.0;
+  }
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   virtual std::string name() const = 0;
 
   /// Choose which queued activation the given VM slot should run next.
-  /// Returns an index into `queue` (never empty when called).
-  virtual std::size_t pick(const std::vector<PendingActivation>& queue,
-                           const cloud::VmInstance& vm) = 0;
+  /// Returns an index into `queue` (never empty when called). Records
+  /// the decision in stats() before returning.
+  std::size_t pick(const std::vector<PendingActivation>& queue,
+                   const cloud::VmInstance& vm) {
+    const std::size_t i = pick_impl(queue, vm);
+    ++stats_.picks;
+    stats_.queued_seen += static_cast<long long>(queue.size());
+    if (queue[i].attempts > 0) ++stats_.reexecution_picks;
+    return i;
+  }
+
+  const SchedulerStats& stats() const { return stats_; }
+
+ protected:
+  /// Policy hook behind pick(); same contract.
+  virtual std::size_t pick_impl(const std::vector<PendingActivation>& queue,
+                                const cloud::VmInstance& vm) = 0;
+
+ private:
+  SchedulerStats stats_;
 };
 
 /// SciCumulus' weighted-cost greedy policy: fast VMs (low slowdown) take
@@ -40,19 +71,23 @@ class Scheduler {
 class GreedyCostScheduler : public Scheduler {
  public:
   std::string name() const override { return "greedy-cost"; }
-  std::size_t pick(const std::vector<PendingActivation>& queue,
-                   const cloud::VmInstance& vm) override;
 
   /// A VM whose slowdown() is below this is considered "fast".
   double fast_vm_threshold = 1.0;
+
+ protected:
+  std::size_t pick_impl(const std::vector<PendingActivation>& queue,
+                        const cloud::VmInstance& vm) override;
 };
 
 /// FIFO baseline (what Hadoop-style engines effectively do for SciDock).
 class FifoScheduler : public Scheduler {
  public:
   std::string name() const override { return "fifo"; }
-  std::size_t pick(const std::vector<PendingActivation>& queue,
-                   const cloud::VmInstance& vm) override;
+
+ protected:
+  std::size_t pick_impl(const std::vector<PendingActivation>& queue,
+                        const cloud::VmInstance& vm) override;
 };
 
 std::unique_ptr<Scheduler> make_scheduler(std::string_view policy_name);

@@ -61,6 +61,10 @@ SimReport SimulatedExecutor::run(const Relation& input,
   const cloud::FailureModel failure_model(options_.failure);
   const auto scheduler = make_scheduler(options_.scheduler_policy);
 
+  const obs::ExecutorCounters counters =
+      obs::executor_counters(options_.obs.metrics);
+  obs::TraceRecorder* const trace = options_.obs.trace;
+
   SimReport report;
 
   // ---- provenance bootstrap ----
@@ -159,6 +163,9 @@ SimReport SimulatedExecutor::run(const Relation& input,
         if (ts.stage >= ts.chain.size()) {
           ++completed_tuples;
           ++report.tuples_completed;
+          if (counters.tuples_completed != nullptr) {
+            counters.tuples_completed->inc();
+          }
         } else {
           enqueue(tuple_idx);
         }
@@ -180,6 +187,7 @@ SimReport SimulatedExecutor::run(const Relation& input,
           ts.lost = true;
           ++completed_tuples;
           ++report.tuples_lost;
+          if (counters.tuples_lost != nullptr) counters.tuples_lost->inc();
         }
         break;
       }
@@ -190,6 +198,32 @@ SimReport SimulatedExecutor::run(const Relation& input,
           tuple_of(tuple_idx).get("pair").value_or(""));
       prov->end_activation(taskid, sim.now(), status,
                            status == prov::kStatusFinished ? 0 : 1, attempt);
+    }
+    // One counter bump per attempt, mirroring the one hactivation row
+    // above so reconciliation holds row for row.
+    if (counters.started != nullptr) {
+      counters.started->inc();
+      if (attempt > 1) counters.retried->inc();
+      if (status == prov::kStatusFinished) {
+        counters.finished->inc();
+        counters.activation_seconds->observe(duration);
+      } else if (status == prov::kStatusAborted) {
+        counters.aborted->inc();
+      } else {
+        counters.failed->inc();
+      }
+    }
+    if (trace != nullptr) {
+      trace->complete_span(tag, "activation", started * 1e6, duration * 1e6,
+                           vm_id,
+                           {{"tuple", std::to_string(tuple_idx)},
+                            {"attempt", std::to_string(attempt)},
+                            {"status", status}});
+      if (status != prov::kStatusFinished) {
+        trace->instant(status == prov::kStatusAborted ? "activation-hang"
+                                                      : "activation-failure",
+                       "fault", sim.now() * 1e6, vm_id);
+      }
     }
     if (report.records.size() < 500000) {
       report.records.push_back(SimActivationRecord{
@@ -293,11 +327,30 @@ SimReport SimulatedExecutor::run(const Relation& input,
     }
   };
 
+  // Provisioning instrumentation shared by the initial fleet and the
+  // elasticity controller: a "vm-boot" span covering acquire -> usable.
+  auto observe_acquire = [&](long long id, const cloud::VmType& type,
+                             double acquired_at, double boot_completed_at) {
+    if (options_.obs.metrics != nullptr) {
+      options_.obs.metrics
+          ->counter("scidock_cloud_vms_acquired_total",
+                    "VM acquisitions (boot requested)")
+          .inc();
+    }
+    if (trace != nullptr) {
+      trace->complete_span("vm-boot", "cloud", acquired_at * 1e6,
+                           (boot_completed_at - acquired_at) * 1e6, id,
+                           {{"type", type.name},
+                            {"cores", std::to_string(type.cores)}});
+    }
+  };
+
   // ---- boot the initial fleet ----
   for (const cloud::VmType& type : options_.fleet) {
     const long long id = cluster.acquire(type);
     const cloud::VmInstance& vm = cluster.instance(id);
     const int cores = type.cores;
+    observe_acquire(id, type, sim.now(), vm.boot_completed_at);
     sim.schedule_at(vm.boot_completed_at, [&, id, cores] {
       free_slots[id] = cores;
       dispatch();
@@ -320,6 +373,8 @@ SimReport SimulatedExecutor::run(const Relation& input,
       const long long id = cluster.acquire(options_.elastic_vm_type);
       const cloud::VmInstance& vm = cluster.instance(id);
       const int cores = options_.elastic_vm_type.cores;
+      observe_acquire(id, options_.elastic_vm_type, sim.now(),
+                      vm.boot_completed_at);
       sim.schedule_at(vm.boot_completed_at, [&, id, cores] {
         free_slots[id] = cores;
         dispatch();
@@ -330,6 +385,15 @@ SimReport SimulatedExecutor::run(const Relation& input,
         const cloud::VmInstance& vm = cluster.instance(it->first);
         if (vm.alive() && it->second == vm.type.cores && alive > options_.min_vms) {
           cluster.release(it->first);
+          if (options_.obs.metrics != nullptr) {
+            options_.obs.metrics
+                ->counter("scidock_cloud_vms_released_total",
+                          "VMs released by the elasticity controller")
+                .inc();
+          }
+          if (trace != nullptr) {
+            trace->instant("vm-release", "cloud", sim.now() * 1e6, it->first);
+          }
           free_slots.erase(it);
           break;
         }
@@ -352,6 +416,38 @@ SimReport SimulatedExecutor::run(const Relation& input,
   report.peak_alive_vms = static_cast<int>(cluster.instances().size());
   report.total_cores = cluster.total_cores();
   if (prov != nullptr) prov->end_workflow(wkfid, sim.now());
+
+  // Placement / utilisation summary series (whole-run, not per event).
+  if (options_.obs.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.obs.metrics;
+    const SchedulerStats& ss = scheduler->stats();
+    m.counter("scidock_sched_picks_total", "scheduler placement decisions")
+        .inc(ss.picks);
+    m.counter("scidock_sched_reexecution_picks_total",
+              "placements of re-executed activations")
+        .inc(ss.reexecution_picks);
+    m.gauge("scidock_sched_mean_queue_length",
+            "mean ready-queue length at placement time")
+        .set(ss.mean_queue_length());
+    m.gauge("scidock_sched_overhead_seconds",
+            "summed serial planning time charged to slots")
+        .set(report.scheduling_overhead_s);
+    m.gauge("scidock_cloud_cost_usd", "accumulated VM cost")
+        .set(report.cloud_cost_usd);
+    m.gauge("scidock_cloud_total_cores", "cores across acquired VMs")
+        .set(static_cast<double>(report.total_cores));
+    // Utilisation: busy core-seconds over available core-seconds (the
+    // figure-9 efficiency denominator).
+    double busy_core_s = 0.0;
+    for (const auto& [tag, stats] : report.per_activity_seconds) {
+      busy_core_s += stats.sum();
+    }
+    const double capacity_s =
+        report.total_execution_time_s * static_cast<double>(report.total_cores);
+    m.gauge("scidock_cloud_vm_utilisation",
+            "busy core-seconds / available core-seconds")
+        .set(capacity_s > 0.0 ? busy_core_s / capacity_s : 0.0);
+  }
   return report;
 }
 

@@ -17,6 +17,7 @@
 #include "cloud/cost_model.hpp"
 #include "cloud/failure.hpp"
 #include "cloud/sim.hpp"
+#include "obs/obs.hpp"
 #include "prov/prov.hpp"
 #include "util/stats.hpp"
 #include "wf/pipeline.hpp"
@@ -54,6 +55,12 @@ struct SimExecutorOptions {
   vfs::LatencyModel fs_latency{};
 
   std::uint64_t seed = 42;
+
+  /// Optional tracing/metrics sinks (see obs/obs.hpp). Spans are stamped
+  /// with *simulated* seconds (x 1e6 for Chrome microseconds) and carry
+  /// the VM id as their trace row; the executor counter series match the
+  /// native executor's names so reconciliation SQL is executor-agnostic.
+  obs::Observability obs;
 };
 
 struct SimActivationRecord {
