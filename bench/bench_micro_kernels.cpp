@@ -1,21 +1,49 @@
 // Micro-kernel benchmarks (google-benchmark): the hot paths underneath
 // the workflow — grid generation, energy evaluation, neighbour queries,
 // torsion application, parsers and the SQL engine.
+//
+// After the google-benchmark tables, main() runs the kernel perf report:
+// timed analytic-vs-LUT comparisons, serial-vs-parallel AutoGrid and the
+// grid-map-reuse pipeline A/B, written to BENCH_kernels.json with the
+// ISSUE acceptance gates enforced (LUT >= 3x on the AD4 pair kernel,
+// >= 30% lower AutoGrid time at 8 threads, cache hit rate >= 95% with
+// counters reconciled against PROV-Wf by the chaos InvariantChecker).
+//
+// Knobs: SCIDOCK_KERNEL_RECEPTORS / SCIDOCK_KERNEL_LIGANDS shrink the
+// pipeline A/B workload for smoke runs.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chaos/invariants.hpp"
 #include "data/generator.hpp"
+#include "data/table2.hpp"
 #include "dock/autogrid.hpp"
+#include "dock/energy_lut.hpp"
 #include "mol/charges.hpp"
 #include "dock/energy.hpp"
 #include "dock/vina.hpp"
 #include "mol/io_pdb.hpp"
 #include "mol/io_pdbqt.hpp"
 #include "mol/prepare.hpp"
+#include "obs/obs.hpp"
 #include "scidock/analysis.hpp"
+#include "scidock/experiment.hpp"
 #include "scidock/scidock.hpp"
 #include "sql/engine.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 #include "wf/spec.hpp"
 #include "xml/xml.hpp"
 
@@ -197,6 +225,333 @@ void BM_SolisWetsLocalSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_SolisWetsLocalSearch)->Unit(benchmark::kMicrosecond);
 
+// ------------------------------------------------------------------
+// Kernel perf report (BENCH_kernels.json) with acceptance gates.
+// ------------------------------------------------------------------
+
+/// Wall-time `body` (which evaluates `evals_per_rep` kernel calls),
+/// growing the repetition count until the measurement window is long
+/// enough to trust, and keeping the *minimum* per-rep time across
+/// windows (cancels scheduler noise on shared machines).
+template <typename F>
+double ns_per_eval(std::size_t evals_per_rep, F&& body) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm-up (touch tables, fault pages)
+  long long reps = 1;
+  double best_s = 1e300;
+  for (int window = 0; window < 64; ++window) {
+    const auto t0 = clock::now();
+    for (long long r = 0; r < reps; ++r) body();
+    const double s =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    if (s < 0.02) {
+      reps *= 4;
+      continue;
+    }
+    best_s = std::min(best_s, s / static_cast<double>(reps));
+    if (window >= 2 && best_s < 1e299) break;
+  }
+  return best_s * 1e9 / static_cast<double>(evals_per_rep);
+}
+
+struct PairSample {
+  mol::AdType ti, tj;
+  double qi, qj;
+  double r2;
+};
+
+std::vector<PairSample> make_pair_samples() {
+  const auto& types = dock::screening_ligand_types();
+  Rng rng(17);
+  std::vector<PairSample> samples(4096);
+  for (PairSample& s : samples) {
+    s.ti = types[rng.below(types.size())];
+    s.tj = types[rng.below(types.size())];
+    s.qi = rng.uniform(-0.5, 0.5);
+    s.qj = rng.uniform(-0.5, 0.5);
+    const double r = rng.uniform(1.0, 8.0);
+    s.r2 = r * r;
+  }
+  return samples;
+}
+
+int run_kernel_report() {
+  using scidock::bench::env_int;
+  bench::print_header("SciDock bench: docking kernels",
+                      "perf_opt acceptance: LUT >= 3x, AutoGrid -30% @ 8t, "
+                      "cache hit rate >= 95%");
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("GATE FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  // ---- pairwise scoring: analytic vs radial LUT -------------------
+  const auto samples = make_pair_samples();
+  const dock::Ad4Weights ad4_w;
+  const auto ad4_tables = dock::Ad4PairTables::shared(ad4_w);
+  const double ad4_analytic_ns = ns_per_eval(samples.size(), [&] {
+    double acc = 0.0;
+    for (const PairSample& s : samples) {
+      acc += dock::ad4_pair_energy(s.ti, s.qi, s.tj, s.qj, std::sqrt(s.r2),
+                                   ad4_w);
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  const double ad4_lut_ns = ns_per_eval(samples.size(), [&] {
+    double acc = 0.0;
+    for (const PairSample& s : samples) {
+      acc += ad4_tables->pair_energy(s.ti, s.qi, s.tj, s.qj, s.r2);
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  const double ad4_speedup = ad4_analytic_ns / ad4_lut_ns;
+  bench::print_compare("AD4 pair kernel ns/eval",
+                       strformat("%.1f analytic", ad4_analytic_ns),
+                       strformat("%.1f LUT (%.1fx)", ad4_lut_ns, ad4_speedup));
+  gate(ad4_speedup >= 3.0, "AD4 LUT must be >= 3x faster than analytic");
+
+  const dock::VinaWeights vina_w;
+  const auto vina_tables = dock::VinaPairTables::shared(vina_w);
+  const double vina_analytic_ns = ns_per_eval(samples.size(), [&] {
+    double acc = 0.0;
+    for (const PairSample& s : samples) {
+      acc += dock::vina_pair_energy(s.ti, s.tj, std::sqrt(s.r2), vina_w);
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  const double vina_lut_ns = ns_per_eval(samples.size(), [&] {
+    double acc = 0.0;
+    for (const PairSample& s : samples) {
+      acc += vina_tables->pair_energy(s.ti, s.tj, s.r2);
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  bench::print_compare(
+      "Vina pair kernel ns/eval", strformat("%.1f analytic", vina_analytic_ns),
+      strformat("%.1f LUT (%.1fx)", vina_lut_ns,
+                vina_analytic_ns / vina_lut_ns));
+
+  // ---- fused trilinear sampling vs three separate samples ---------
+  const DockFixture& fx = DockFixture::get();
+  const dock::GridMapCalculator fx_calc(fx.receptor.molecule);
+  mol::Molecule fx_lig = fx.ligand.molecule;
+  fx_lig.perceive();
+  const dock::GridMapSet fused_maps =
+      fx_calc.calculate(fx.box, fx_lig.ad_types_present());
+  const dock::GridMap& m0 = fused_maps.affinity[0].second;
+  std::vector<mol::Vec3> points;
+  {
+    Rng rng(23);
+    const mol::Aabb b = fx.box.bounds();
+    for (int i = 0; i < 2048; ++i) {
+      points.push_back({rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y),
+                        rng.uniform(b.lo.z, b.hi.z)});
+    }
+  }
+  const double unfused_ns = ns_per_eval(points.size(), [&] {
+    double acc = 0.0;
+    for (const mol::Vec3& p : points) {
+      acc += m0.sample(p) + fused_maps.electrostatic.sample(p) +
+             fused_maps.desolvation.sample(p);
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  const double fused_ns = ns_per_eval(points.size(), [&] {
+    double acc = 0.0;
+    for (const mol::Vec3& p : points) {
+      const dock::TrilinearSampler s(fx.box, p);
+      if (s.in_box()) {
+        acc += s.apply(m0) + s.apply(fused_maps.electrostatic) +
+               s.apply(fused_maps.desolvation);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  bench::print_compare("3-map sampling ns/point",
+                       strformat("%.1f separate", unfused_ns),
+                       strformat("%.1f fused (%.1fx)", fused_ns,
+                                 unfused_ns / fused_ns));
+
+  // ---- AutoGrid: serial vs 8-thread z-slab fan-out ----------------
+  const auto time_autogrid = [&](ThreadPool* pool) {
+    using clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      benchmark::DoNotOptimize(
+          fx_calc.calculate(fx.box, dock::screening_ligand_types(), pool));
+      best = std::min(
+          best, std::chrono::duration<double>(clock::now() - t0).count());
+    }
+    return best;
+  };
+  const double autogrid_serial_s = time_autogrid(nullptr);
+  ThreadPool pool8(8);
+  const double autogrid_8t_s = time_autogrid(&pool8);
+  bench::print_compare(
+      "AutoGrid map set (19 types)",
+      strformat("%.0f ms serial", autogrid_serial_s * 1e3),
+      strformat("%.0f ms @ 8 threads (%.1fx)", autogrid_8t_s * 1e3,
+                autogrid_serial_s / autogrid_8t_s));
+  // The z-slab fan-out can only show a wall-clock win on real cores.
+  if (std::thread::hardware_concurrency() > 1) {
+    gate(autogrid_8t_s <= 0.7 * autogrid_serial_s,
+         "8-thread AutoGrid must be >= 30% faster than serial");
+  } else {
+    std::printf("(parallel AutoGrid gate skipped: single-core machine)\n");
+  }
+
+  // ---- pipeline A/B: grid-map reuse off vs on ---------------------
+  // Small structures so the default 10 x 42 campaign stays quick; the
+  // reuse machinery (canonical GPF -> single-flight cache) is identical.
+  core::ScidockOptions popts;
+  popts.dataset.min_residues = 12;
+  popts.dataset.max_residues = 30;
+  popts.dataset.min_ligand_atoms = 8;
+  popts.dataset.max_ligand_atoms = 14;
+  popts.dataset.hg_fraction = 0.0;
+  popts.ad4_params = {.ga_runs = 1, .ga_pop_size = 10, .ga_num_evals = 300,
+                      .ga_num_generations = 10, .sw_max_its = 15};
+  popts.vina_exhaustiveness = 1;
+  popts.vina_steps_per_chain = 8;
+  popts.grid_spacing = 0.8;  // coarser maps keep the reuse-off run quick
+  const auto& all_receptors = data::table2_receptors();
+  const auto& all_ligands = data::table2_ligands();
+  const auto n_receptors = static_cast<std::size_t>(std::min(
+      env_int("SCIDOCK_KERNEL_RECEPTORS", 10),
+      static_cast<int>(all_receptors.size())));
+  const auto n_ligands = static_cast<std::size_t>(
+      std::min(env_int("SCIDOCK_KERNEL_LIGANDS", 42),
+               static_cast<int>(all_ligands.size())));
+  const std::vector<std::string> receptors(
+      all_receptors.begin(),
+      all_receptors.begin() + static_cast<std::ptrdiff_t>(n_receptors));
+  const std::vector<std::string> ligands(
+      all_ligands.begin(),
+      all_ligands.begin() + static_cast<std::ptrdiff_t>(n_ligands));
+  const int threads = 8;
+
+  // One executor round, replicating core::run_native but keeping the
+  // executor options so the chaos checker can reconcile the run.
+  const auto run = [&](bool reuse, obs::Observability obs,
+                       wf::NativeExecutorOptions* xopts_out,
+                       std::size_t* input_tuples) {
+    core::ScidockOptions o = popts;
+    o.reuse_grid_maps = reuse;
+    auto exp = core::make_experiment(receptors, ligands, 0, o);
+    *input_tuples = exp.pairs.size();
+    wf::NativeExecutorOptions xopts;
+    xopts.threads = threads;
+    xopts.expdir = o.expdir;
+    xopts.obs = obs;
+    exp.prov->set_metrics(obs.metrics);
+    wf::NativeExecutor executor(exp.pipeline, *exp.fs, *exp.prov, xopts);
+    wf::NativeReport report = executor.run(exp.pairs, "kernel-bench");
+    exp.prov->set_metrics(nullptr);
+    *xopts_out = xopts;
+    if (obs.metrics != nullptr) {
+      chaos::InvariantChecker checker;
+      const chaos::RunSummary summary =
+          chaos::summarize(report, xopts, *input_tuples);
+      checker.check_metrics(summary, *obs.metrics, *exp.prov, "kernel-bench");
+      if (!checker.ok()) {
+        std::printf("%s\n", checker.to_string().c_str());
+      }
+      return std::make_pair(report, checker.ok());
+    }
+    return std::make_pair(report, true);
+  };
+
+  wf::NativeExecutorOptions xopts;
+  std::size_t input_tuples = 0;
+  const auto [off_report, off_ok] =
+      run(false, obs::Observability{}, &xopts, &input_tuples);
+  (void)off_ok;  // no metrics attached on the baseline run
+  obs::MetricsRegistry metrics;
+  const auto [on_report, reconciled] = run(
+      true, obs::Observability{nullptr, &metrics}, &xopts, &input_tuples);
+  const double stage_off =
+      off_report.per_activity_seconds.at(core::kAutogrid).sum();
+  const double stage_on =
+      on_report.per_activity_seconds.at(core::kAutogrid).sum();
+  const long long hits = metrics.counter_value(obs::kCacheGridmapsHits);
+  const long long misses = metrics.counter_value(obs::kCacheGridmapsMisses);
+  const long long waits =
+      metrics.counter_value(obs::kCacheGridmapsInflightWaits);
+  const long long outcomes = hits + misses + waits;
+  const double hit_rate =
+      outcomes > 0
+          ? 100.0 * static_cast<double>(hits + waits) /
+                static_cast<double>(outcomes)
+          : 0.0;
+  const double reduction_pct = 100.0 * (1.0 - stage_on / stage_off);
+  std::printf("\npipeline A/B: %zu pairs, %d threads\n", input_tuples,
+              threads);
+  bench::print_compare("AutoGrid stage seconds (sum)",
+                       strformat("%.2f reuse off", stage_off),
+                       strformat("%.2f reuse on (-%.0f%%)", stage_on,
+                                 reduction_pct));
+  bench::print_compare(
+      "grid-map cache", strformat("%lld outcomes", outcomes),
+      strformat("%lld hit / %lld miss / %lld wait (%.1f%% hit rate)", hits,
+                misses, waits, hit_rate));
+  gate(reduction_pct >= 30.0,
+       "grid-map reuse must cut the AutoGrid stage by >= 30%");
+  gate(outcomes > 0 && misses == static_cast<long long>(receptors.size()),
+       "exactly one grid-map compute per receptor");
+  gate(reconciled, "cache counters must reconcile with PROV-Wf");
+  // The hit-rate acceptance gate needs a workload where reuse is even
+  // possible at 95% (pairs >> receptors); smoke-scale runs skip it.
+  const double attainable =
+      100.0 * (1.0 - static_cast<double>(receptors.size()) /
+                         static_cast<double>(input_tuples));
+  if (attainable >= 95.0) {
+    gate(hit_rate >= 95.0, "cache hit rate must be >= 95%");
+  } else {
+    std::printf("(hit-rate gate skipped: best attainable %.1f%% at this "
+                "workload scale)\n",
+                attainable);
+  }
+
+  const std::string path = bench::write_bench_json(
+      "kernels",
+      {{"ad4_pair_ns_analytic", strformat("%.2f", ad4_analytic_ns)},
+       {"ad4_pair_ns_lut", strformat("%.2f", ad4_lut_ns)},
+       {"ad4_pair_speedup", strformat("%.2f", ad4_speedup)},
+       {"vina_pair_ns_analytic", strformat("%.2f", vina_analytic_ns)},
+       {"vina_pair_ns_lut", strformat("%.2f", vina_lut_ns)},
+       {"sample3_ns_separate", strformat("%.2f", unfused_ns)},
+       {"sample3_ns_fused", strformat("%.2f", fused_ns)},
+       {"autogrid_ms_serial", strformat("%.2f", autogrid_serial_s * 1e3)},
+       {"autogrid_ms_8t", strformat("%.2f", autogrid_8t_s * 1e3)},
+       {"autogrid_parallel_speedup",
+        strformat("%.2f", autogrid_serial_s / autogrid_8t_s)},
+       {"pipeline_pairs", strformat("%zu", input_tuples)},
+       {"pipeline_autogrid_s_reuse_off", strformat("%.3f", stage_off)},
+       {"pipeline_autogrid_s_reuse_on", strformat("%.3f", stage_on)},
+       {"autogrid_stage_reduction_pct", strformat("%.1f", reduction_pct)},
+       {"cache_hits", strformat("%lld", hits)},
+       {"cache_misses", strformat("%lld", misses)},
+       {"cache_inflight_waits", strformat("%lld", waits)},
+       {"cache_hit_rate_pct", strformat("%.2f", hit_rate)}});
+  if (path.empty()) {
+    std::printf("GATE FAILED: could not write BENCH_kernels.json\n");
+    ++failures;
+  } else {
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_kernel_report();
+}

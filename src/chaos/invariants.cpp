@@ -327,6 +327,53 @@ bool InvariantChecker::check_metrics(const RunSummary& summary,
                           who.c_str(), line.counter, counted, line.report));
     }
   }
+
+  // ---- grid-map cache reconciliation (DESIGN.md §10) ----
+  // The AutoGrid stage counts each FINISHED activation as exactly one of
+  // hit / miss / inflight-wait (counters land only after every output is
+  // emitted, so faulted attempts never count). Guarded on the sum: runs
+  // whose pipeline has no instrumented AutoGrid stage (toy obs pipelines,
+  // sim executor) register none of these series and skip the check.
+  const long long cache_hits = metrics.counter_value(obs::kCacheGridmapsHits);
+  const long long cache_misses =
+      metrics.counter_value(obs::kCacheGridmapsMisses);
+  const long long cache_waits =
+      metrics.counter_value(obs::kCacheGridmapsInflightWaits);
+  const long long cache_sum = cache_hits + cache_misses + cache_waits;
+  if (cache_sum > 0) {
+    const long long sql_autogrid_finished =
+        store.query(prov::finished_activation_count_sql(wkfid, "autogrid"))
+            .rows.front()
+            .front()
+            .as_int();
+    if (cache_sum != sql_autogrid_finished) {
+      ok = fail(strformat(
+          "%s metrics: grid-map cache hits %lld + misses %lld + waits %lld "
+          "= %lld but SQL counts %lld FINISHED autogrid activations",
+          who.c_str(), cache_hits, cache_misses, cache_waits, cache_sum,
+          sql_autogrid_finished));
+    }
+    // Map-set computations are counted when they happen, so activations
+    // that computed and then failed keep mapsets above misses.
+    const long long mapsets =
+        metrics.counter_value(obs::kKernelAutogridMapsets);
+    if (mapsets < cache_misses) {
+      ok = fail(strformat(
+          "%s metrics: %s = %lld but %lld cache misses each computed one",
+          who.c_str(), obs::kKernelAutogridMapsets, mapsets, cache_misses));
+    }
+    // Every computed slab observes the histogram and bumps the counter
+    // from the same callback; the two series must agree.
+    const long long slabs = metrics.counter_value(obs::kKernelAutogridSlabs);
+    const long long slab_obs =
+        metrics.histogram_count(obs::kKernelAutogridSlabSeconds);
+    if (slabs != slab_obs) {
+      ok = fail(strformat(
+          "%s metrics: %s = %lld but %s observed %lld slabs",
+          who.c_str(), obs::kKernelAutogridSlabs, slabs,
+          obs::kKernelAutogridSlabSeconds, slab_obs));
+    }
+  }
   return ok;
 }
 

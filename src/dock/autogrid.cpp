@@ -1,22 +1,41 @@
 #include "dock/autogrid.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scidock::dock {
 
 GridMapCalculator::GridMapCalculator(const mol::Molecule& receptor,
                                      AutogridOptions opts)
-    : receptor_(receptor), opts_(opts), neighbors_(receptor, opts.cutoff) {
+    : receptor_(receptor), opts_(opts),
+      tables_(Ad4PairTables::shared(opts.weights)),
+      neighbors_(receptor, opts.cutoff) {
   SCIDOCK_ASSERT_MSG(receptor.perceived(), "prepare the receptor before AutoGrid");
+  // The LUT domain ends at lut::kCutoff; a wider neighbour cutoff would
+  // hand the interpolator out-of-domain squared distances.
+  SCIDOCK_ASSERT_MSG(opts.cutoff <= lut::kCutoff,
+                     "AutoGrid cutoff exceeds the energy-LUT domain");
+  const int n = receptor.atom_count();
+  charge_.reserve(static_cast<std::size_t>(n));
+  volume_.reserve(static_cast<std::size_t>(n));
+  type_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const mol::Atom& a = receptor.atom(i);
+    charge_.push_back(a.partial_charge);
+    volume_.push_back(mol::ad_type_params(a.ad_type).volume);
+    type_.push_back(a.ad_type);
+  }
 }
 
 GridMapSet GridMapCalculator::calculate(
-    const GridBox& box, const std::vector<mol::AdType>& ligand_types) const {
+    const GridBox& box, const std::vector<mol::AdType>& ligand_types,
+    ThreadPool* pool) const {
   GridMapSet set;
   set.box = box;
   set.electrostatic = GridMap(box, "e");
@@ -25,11 +44,27 @@ GridMapSet GridMapCalculator::calculate(
     set.affinity.emplace_back(t, GridMap(box, std::string(mol::ad_type_name(t))));
   }
 
-  const mol::Vec3 origin = box.origin();
-  constexpr double kCoulomb = 332.06;
-  constexpr double kSigma = 3.6;
+  // Hoist each (ligand type, receptor atom) LUT row to a flat pointer
+  // array: the inner loop then costs one interpolation per contribution
+  // instead of a pair-index computation plus clamp/exp/pow calls.
+  const std::size_t natoms = type_.size();
+  const std::size_t ntypes = ligand_types.size();
+  std::vector<const double*> rows(ntypes * natoms);
+  for (std::size_t t = 0; t < ntypes; ++t) {
+    for (std::size_t a = 0; a < natoms; ++a) {
+      rows[t * natoms + a] = tables_->vdw_row(ligand_types[t], type_[a]);
+    }
+  }
 
-  for (int iz = 0; iz < box.npts[2]; ++iz) {
+  const mol::Vec3 origin = box.origin();
+  const Ad4PairTables& tables = *tables_;
+
+  // One z-slab: every write lands in the slab's own index range of each
+  // map, so slabs compute independently and the result is bit-identical
+  // across thread counts.
+  const auto slab = [&](std::size_t slab_iz) {
+    const int iz = static_cast<int>(slab_iz);
+    std::vector<double> e_aff(ntypes, 0.0);
     for (int iy = 0; iy < box.npts[1]; ++iy) {
       for (int ix = 0; ix < box.npts[0]; ++ix) {
         const mol::Vec3 p{origin.x + ix * box.spacing,
@@ -37,34 +72,52 @@ GridMapSet GridMapCalculator::calculate(
                           origin.z + iz * box.spacing};
         double e_elec = 0.0;
         double e_desolv = 0.0;
-        // Accumulate per-type affinities in a dense temp indexed like
-        // set.affinity to avoid a map lookup per (point, atom).
-        std::vector<double> e_aff(ligand_types.size(), 0.0);
+        std::fill(e_aff.begin(), e_aff.end(), 0.0);
 
         neighbors_.for_each_within(p, [&](int ai, double d2) {
-          const mol::Atom& atom = receptor_.atom(ai);
-          const double r = std::max(std::sqrt(d2), 0.5);
-          e_elec += opts_.weights.estat * kCoulomb * atom.partial_charge /
-                    (mehler_solmajer_dielectric(r) * r);
-          const auto& pa = mol::ad_type_params(atom.ad_type);
+          const auto a = static_cast<std::size_t>(ai);
+          e_elec += charge_[a] * tables.coulomb_factor(d2);
           // Receptor-side volume term only; the ligand atom's solvation
           // parameter (solpar_i + qasp*|q_i|) multiplies in at sample time
           // (AD4 map semantics; the product is O(0.01) per contact).
-          e_desolv += opts_.weights.desolv * pa.volume *
-                      std::exp(-(r * r) / (2.0 * kSigma * kSigma));
-          for (std::size_t t = 0; t < ligand_types.size(); ++t) {
-            e_aff[t] += ad4_vdw_hbond(ligand_types[t], atom.ad_type, r,
-                                      opts_.weights);
+          e_desolv += volume_[a] * tables.desolv_gauss(d2);
+          const double* const* row = rows.data() + a;
+          for (std::size_t t = 0; t < ntypes; ++t) {
+            e_aff[t] += lut::interpolate(row[t * natoms], d2);
           }
         });
 
         set.electrostatic.at(ix, iy, iz) = e_elec;
         set.desolvation.at(ix, iy, iz) = e_desolv;
-        for (std::size_t t = 0; t < ligand_types.size(); ++t) {
+        for (std::size_t t = 0; t < ntypes; ++t) {
           set.affinity[t].second.at(ix, iy, iz) = e_aff[t];
         }
       }
     }
+  };
+
+  const auto timed_slab = [&](std::size_t iz) {
+    if (!opts_.slab_observer) {
+      slab(iz);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    slab(iz);
+    opts_.slab_observer(
+        static_cast<int>(iz),
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+
+  const auto nz = static_cast<std::size_t>(box.npts[2]);
+  if (pool != nullptr && pool->thread_count() > 1 && nz > 1) {
+    // A couple of chunks per worker balances load (outer slabs see fewer
+    // receptor atoms) without paying one dispatch per slab.
+    const std::size_t grain =
+        std::max<std::size_t>(1, nz / (pool->thread_count() * 4));
+    pool->parallel_for(nz, timed_slab, grain);
+  } else {
+    for (std::size_t iz = 0; iz < nz; ++iz) timed_slab(iz);
   }
   return set;
 }
@@ -140,6 +193,34 @@ GridParameterFile make_gpf(const mol::Molecule& receptor,
   gpf.receptor_file = receptor.name() + ".pdbqt";
   gpf.ligand_file = ligand.name() + ".pdbqt";
   return gpf;
+}
+
+GridParameterFile make_screening_gpf(const mol::Molecule& receptor,
+                                     const mol::Molecule& ligand,
+                                     double box_padding, double spacing,
+                                     double min_half_extent, double quantum) {
+  GridParameterFile gpf = make_gpf(receptor, ligand, box_padding, spacing);
+  double half_extent =
+      std::max(ligand.radius_of_gyration() * 2.0 + box_padding, 8.0);
+  // Canonicalise: floor + round up to the quantum so every drug-like
+  // ligand of a campaign lands on the same box for a given receptor.
+  half_extent = std::max(half_extent, min_half_extent);
+  half_extent = std::ceil(half_extent / quantum) * quantum;
+  gpf.box = GridBox::around(receptor.center(), half_extent, spacing);
+  gpf.ligand_types = screening_ligand_types();
+  return gpf;
+}
+
+const std::vector<mol::AdType>& screening_ligand_types() {
+  static const std::vector<mol::AdType> types = [] {
+    std::vector<mol::AdType> out;
+    for (int i = 0; i < mol::kAdTypeCount; ++i) {
+      const auto t = static_cast<mol::AdType>(i);
+      if (mol::ad_type_params(t).supported) out.push_back(t);
+    }
+    return out;
+  }();
+  return types;
 }
 
 }  // namespace scidock::dock

@@ -7,16 +7,33 @@
 /// receptor interaction on each grid point: a type-specific vdW/H-bond
 /// affinity map, a unit-charge electrostatic map and a desolvation map.
 /// AutoDock 4 then scores poses by trilinear interpolation into these maps.
+///
+/// The per-point kernel reads the radial LUTs (energy_lut.hpp) indexed by
+/// squared distance, and the z-slab loop optionally fans out over a
+/// ThreadPool. Each slab writes a disjoint range of every map, so the
+/// result is bit-identical for any thread count.
 
+#include <functional>
+
+#include "dock/energy_lut.hpp"
 #include "dock/grid.hpp"
 #include "dock/scoring.hpp"
 #include "mol/molecule.hpp"
 
-namespace scidock::dock {
+namespace scidock {
+
+class ThreadPool;
+
+namespace dock {
 
 struct AutogridOptions {
-  double cutoff = 8.0;     ///< Å interaction cutoff (AutoGrid's NBC)
+  double cutoff = 8.0;  ///< Å interaction cutoff (AutoGrid's NBC)
   Ad4Weights weights{};
+  /// Called after each z-slab finishes with (slab index, wall seconds).
+  /// Invoked from pool workers when calculate() runs parallel, so it must
+  /// be thread-safe; the scidock AutoGrid stage installs one that feeds
+  /// the obs metrics/trace layer.
+  std::function<void(int iz, double seconds)> slab_observer;
 };
 
 class GridMapCalculator {
@@ -24,14 +41,24 @@ class GridMapCalculator {
   /// `receptor` must be prepared (typed + charged).
   GridMapCalculator(const mol::Molecule& receptor, AutogridOptions opts = {});
 
-  /// Compute maps over `box` for the given ligand atom types.
+  /// Compute maps over `box` for the given ligand atom types. With a
+  /// `pool`, z-slabs are chunked across its workers; per-slab writes are
+  /// disjoint, so output is bit-identical to the serial path.
   GridMapSet calculate(const GridBox& box,
-                       const std::vector<mol::AdType>& ligand_types) const;
+                       const std::vector<mol::AdType>& ligand_types,
+                       ThreadPool* pool = nullptr) const;
 
  private:
   const mol::Molecule& receptor_;
   AutogridOptions opts_;
+  std::shared_ptr<const Ad4PairTables> tables_;
   NeighborList neighbors_;
+  /// Receptor-side factors hoisted out of the per-point kernel, indexed
+  /// by atom: partial charge (electrostatic map) and the type's volume
+  /// (desolvation map).
+  std::vector<double> charge_;
+  std::vector<double> volume_;
+  std::vector<mol::AdType> type_;
 };
 
 /// The Grid Parameter File (activity 4 output): the text AutoGrid consumes.
@@ -53,4 +80,21 @@ GridParameterFile make_gpf(const mol::Molecule& receptor,
                            const mol::Molecule& ligand,
                            double box_padding = 6.0, double spacing = 0.375);
 
-}  // namespace scidock::dock
+/// Screening-campaign variant of make_gpf: the box half-extent is raised
+/// to at least `min_half_extent` and rounded up to a multiple of
+/// `quantum`, and the type set covers every supported AutoDock type. Any
+/// drug-like ligand of the campaign then maps to the *same* GPF for a
+/// given receptor, which is what makes receptor-level grid-map reuse
+/// (ArtifactCache::get_or_compute_maps) hit across ligands.
+GridParameterFile make_screening_gpf(const mol::Molecule& receptor,
+                                     const mol::Molecule& ligand,
+                                     double box_padding = 6.0,
+                                     double spacing = 0.375,
+                                     double min_half_extent = 12.0,
+                                     double quantum = 4.0);
+
+/// All supported AutoDock types (the screening GPF's ligand_types).
+const std::vector<mol::AdType>& screening_ligand_types();
+
+}  // namespace dock
+}  // namespace scidock

@@ -23,42 +23,76 @@ Ad4EnergyModel::Ad4EnergyModel(const GridMapSet& maps,
                                const mol::PreparedLigand& ligand,
                                Ad4Weights weights)
     : maps_(maps), ligand_(ligand), weights_(weights),
+      tables_(Ad4PairTables::shared(weights)),
       reference_coords_(ligand.molecule.coordinates()),
-      reference_center_(root_center(ligand)),
-      intra_pairs_(intramolecular_pairs(ligand.molecule)) {
-  // Every ligand type must have a map, otherwise the GPF was wrong.
-  for (mol::AdType t : ligand.molecule.ad_types_present()) {
-    SCIDOCK_REQUIRE(maps_.affinity_for(t) != nullptr,
+      reference_center_(root_center(ligand)) {
+  // Fused sampling assumes every map shares the set's box; AutoGrid
+  // guarantees this, and the map-file round trip preserves it.
+  SCIDOCK_ASSERT(maps_.electrostatic.box().npts == maps_.box.npts &&
+                 maps_.desolvation.box().npts == maps_.box.npts);
+  constexpr double kQasp = 0.01097;
+  channels_.reserve(static_cast<std::size_t>(ligand.molecule.atom_count()));
+  for (int i = 0; i < ligand.molecule.atom_count(); ++i) {
+    const mol::Atom& a = ligand.molecule.atom(i);
+    const GridMap* aff = maps_.affinity_for(a.ad_type);
+    // Every ligand type must have a map, otherwise the GPF was wrong.
+    SCIDOCK_REQUIRE(aff != nullptr,
                     "missing AutoGrid map for ligand atom type " +
-                        std::string(mol::ad_type_name(t)));
+                        std::string(mol::ad_type_name(a.ad_type)));
+    const auto& pa = mol::ad_type_params(a.ad_type);
+    channels_.push_back({aff, a.partial_charge,
+                         pa.solpar + kQasp * std::abs(a.partial_charge)});
+  }
+  for (const auto& [i, j] : intramolecular_pairs(ligand.molecule)) {
+    const mol::Atom& ai = ligand.molecule.atom(i);
+    const mol::Atom& aj = ligand.molecule.atom(j);
+    const auto& pi = mol::ad_type_params(ai.ad_type);
+    const auto& pj = mol::ad_type_params(aj.ad_type);
+    const double qi = ai.partial_charge;
+    const double qj = aj.partial_charge;
+    intra_pairs_.push_back(
+        {i, j, ai.ad_type, aj.ad_type, qi, qj, qi * qj,
+         (pi.solpar + kQasp * std::abs(qi)) * pj.volume +
+             (pj.solpar + kQasp * std::abs(qj)) * pi.volume});
   }
 }
 
 double Ad4EnergyModel::intermolecular(const std::vector<mol::Vec3>& coords) const {
   double e = 0.0;
-  for (int i = 0; i < ligand_.molecule.atom_count(); ++i) {
-    const mol::Atom& a = ligand_.molecule.atom(i);
-    const mol::Vec3& p = coords[static_cast<std::size_t>(i)];
-    const GridMap* aff = maps_.affinity_for(a.ad_type);
-    e += aff->sample(p);
-    e += a.partial_charge * maps_.electrostatic.sample(p);
-    const auto& pa = mol::ad_type_params(a.ad_type);
-    constexpr double kQasp = 0.01097;
-    e += (pa.solpar + kQasp * std::abs(a.partial_charge)) *
-         maps_.desolvation.sample(p);
+  const std::size_t n = channels_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const AtomChannels& ch = channels_[i];
+    // One cell/weight computation feeds all three maps (they share the
+    // AutoGrid box), where the unfused path paid the origin/index math
+    // three times per atom.
+    const TrilinearSampler s(maps_.box, coords[i]);
+    if (s.in_box()) {
+      e += s.apply(*ch.affinity);
+      e += ch.charge * s.apply(maps_.electrostatic);
+      e += ch.solv * s.apply(maps_.desolvation);
+    } else {
+      e += GridMap::kOutOfBoxPenalty;
+      e += ch.charge * GridMap::kOutOfBoxPenalty;
+      e += ch.solv * GridMap::kOutOfBoxPenalty;
+    }
   }
   return e;
 }
 
 double Ad4EnergyModel::intramolecular(const std::vector<mol::Vec3>& coords) const {
   double e = 0.0;
-  for (const auto& [i, j] : intra_pairs_) {
-    const mol::Atom& ai = ligand_.molecule.atom(i);
-    const mol::Atom& aj = ligand_.molecule.atom(j);
-    const double r = mol::distance(coords[static_cast<std::size_t>(i)],
-                                   coords[static_cast<std::size_t>(j)]);
-    e += ad4_pair_energy(ai.ad_type, ai.partial_charge, aj.ad_type,
-                         aj.partial_charge, r, weights_);
+  const Ad4PairTables& t = *tables_;
+  for (const IntraPair& p : intra_pairs_) {
+    const double d2 = mol::distance_sq(coords[static_cast<std::size_t>(p.i)],
+                                       coords[static_cast<std::size_t>(p.j)]);
+    if (d2 < Ad4PairTables::cutoff_sq()) {
+      e += t.vdw_hbond(p.ti, p.tj, d2) + p.qq * t.coulomb_factor(d2) +
+           p.solv * t.desolv_gauss(d2);
+    } else {
+      // Intramolecular pairs in extended ligands exceed the table domain;
+      // the analytic tail is cheap and already near zero out there.
+      e += ad4_pair_energy(p.ti, p.qi, p.tj, p.qj, std::sqrt(d2), weights_);
+    }
   }
   return e;
 }
@@ -81,13 +115,20 @@ VinaEnergyModel::VinaEnergyModel(const mol::PreparedReceptor& receptor,
                                  const mol::PreparedLigand& ligand,
                                  const GridBox& box, VinaWeights weights)
     : receptor_(receptor), ligand_(ligand), box_(box), weights_(weights),
+      tables_(VinaPairTables::shared(weights)),
       neighbors_(receptor.molecule, 8.0),
       reference_coords_(ligand.molecule.coordinates()),
-      reference_center_(root_center(ligand)),
-      intra_pairs_(intramolecular_pairs(ligand.molecule)) {}
+      reference_center_(root_center(ligand)) {
+  for (const auto& [i, j] : intramolecular_pairs(ligand.molecule)) {
+    if (mol::vina_kind(ligand.molecule.atom(i).ad_type).skip) continue;
+    if (mol::vina_kind(ligand.molecule.atom(j).ad_type).skip) continue;
+    intra_pairs_.emplace_back(i, j);
+  }
+}
 
 double VinaEnergyModel::intermolecular(const std::vector<mol::Vec3>& coords) const {
   double e = 0.0;
+  const VinaPairTables& t = *tables_;
   for (int i = 0; i < ligand_.molecule.atom_count(); ++i) {
     const mol::Atom& a = ligand_.molecule.atom(i);
     const mol::Vec3& p = coords[static_cast<std::size_t>(i)];
@@ -99,8 +140,9 @@ double VinaEnergyModel::intermolecular(const std::vector<mol::Vec3>& coords) con
       continue;
     }
     neighbors_.for_each_within(p, [&](int ri, double d2) {
-      const mol::Atom& r = receptor_.molecule.atom(ri);
-      e += vina_pair_energy(a.ad_type, r.ad_type, std::sqrt(d2), weights_);
+      // The neighbour list yields squared distances inside the cutoff;
+      // the table is indexed by r², so no sqrt on the hot path.
+      e += t.pair_energy(a.ad_type, receptor_.molecule.atom(ri).ad_type, d2);
     });
   }
   return e;
@@ -108,11 +150,12 @@ double VinaEnergyModel::intermolecular(const std::vector<mol::Vec3>& coords) con
 
 double VinaEnergyModel::intramolecular(const std::vector<mol::Vec3>& coords) const {
   double e = 0.0;
+  const VinaPairTables& t = *tables_;
   for (const auto& [i, j] : intra_pairs_) {
-    const double r = mol::distance(coords[static_cast<std::size_t>(i)],
-                                   coords[static_cast<std::size_t>(j)]);
-    e += vina_pair_energy(ligand_.molecule.atom(i).ad_type,
-                          ligand_.molecule.atom(j).ad_type, r, weights_);
+    const double d2 = mol::distance_sq(coords[static_cast<std::size_t>(i)],
+                                       coords[static_cast<std::size_t>(j)]);
+    e += t.pair_energy(ligand_.molecule.atom(i).ad_type,
+                       ligand_.molecule.atom(j).ad_type, d2);
   }
   return e;
 }

@@ -5,10 +5,12 @@
 /// over DockPose. AD4 scores through precomputed grid maps; Vina scores
 /// by direct pairwise evaluation through a neighbour list.
 
+#include <memory>
 #include <vector>
 
 #include "dock/autogrid.hpp"
 #include "dock/conformation.hpp"
+#include "dock/energy_lut.hpp"
 #include "dock/grid.hpp"
 #include "dock/scoring.hpp"
 #include "mol/prepare.hpp"
@@ -40,12 +42,31 @@ class Ad4EnergyModel {
   const mol::Vec3& reference_center() const { return reference_center_; }
 
  private:
+  /// Per-atom channel pointers and charge/solvation factors, precomputed
+  /// once so the fused inner loop reads three maps through one
+  /// TrilinearSampler without per-evaluation type lookups.
+  struct AtomChannels {
+    const GridMap* affinity;
+    double charge;  ///< partial charge (electrostatic map factor)
+    double solv;    ///< solpar + kQasp * |q| (desolvation map factor)
+  };
+  /// Intramolecular pair with everything distance-independent hoisted.
+  struct IntraPair {
+    int i, j;
+    mol::AdType ti, tj;
+    double qi, qj;
+    double qq;    ///< qi * qj (Coulomb factor)
+    double solv;  ///< symmetric solvation cross term
+  };
+
   const GridMapSet& maps_;
   const mol::PreparedLigand& ligand_;
   Ad4Weights weights_;
+  std::shared_ptr<const Ad4PairTables> tables_;
   std::vector<mol::Vec3> reference_coords_;
   mol::Vec3 reference_center_{};
-  std::vector<std::pair<int, int>> intra_pairs_;
+  std::vector<AtomChannels> channels_;
+  std::vector<IntraPair> intra_pairs_;
   mutable long long evaluations_ = 0;
 };
 
@@ -72,9 +93,12 @@ class VinaEnergyModel {
   const mol::PreparedLigand& ligand_;
   GridBox box_;
   VinaWeights weights_;
+  std::shared_ptr<const VinaPairTables> tables_;
   NeighborList neighbors_;
   std::vector<mol::Vec3> reference_coords_;
   mol::Vec3 reference_center_{};
+  /// Skip-type pairs (hydrogens) contribute zero at every distance, so
+  /// they are pruned at construction rather than tested per evaluation.
   std::vector<std::pair<int, int>> intra_pairs_;
   mutable long long evaluations_ = 0;
 };

@@ -1,0 +1,122 @@
+#include "dock/energy_lut.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/thread_annotations.hpp"
+
+namespace scidock::dock {
+
+namespace {
+
+constexpr std::size_t kSamples = lut::kEntries + 1;
+constexpr double kStep = lut::kCutoffSq / lut::kEntries;
+
+/// Distance of sample i, honouring the analytic path's 0.5 Å floor.
+double sample_r(int i) {
+  const double r = std::sqrt(static_cast<double>(i) * kStep);
+  return r < 0.5 ? 0.5 : r;
+}
+
+bool same_weights(const Ad4Weights& a, const Ad4Weights& b) {
+  return a.vdw == b.vdw && a.hbond == b.hbond && a.estat == b.estat &&
+         a.desolv == b.desolv && a.tors == b.tors;
+}
+
+bool same_weights(const VinaWeights& a, const VinaWeights& b) {
+  return a.gauss1 == b.gauss1 && a.gauss2 == b.gauss2 &&
+         a.repulsion == b.repulsion && a.hydrophobic == b.hydrophobic &&
+         a.hbond == b.hbond && a.rot == b.rot;
+}
+
+}  // namespace
+
+Ad4PairTables::Ad4PairTables(const Ad4Weights& weights)
+    : weights_(weights),
+      vdw_(static_cast<std::size_t>(lut::kPairCount) * kSamples),
+      coulomb_(kSamples),
+      gauss_(kSamples) {
+  for (int lo = 0; lo < mol::kAdTypeCount; ++lo) {
+    for (int hi = lo; hi < mol::kAdTypeCount; ++hi) {
+      const auto ti = static_cast<mol::AdType>(lo);
+      const auto tj = static_cast<mol::AdType>(hi);
+      double* row = vdw_.data() +
+                    static_cast<std::size_t>(lut::pair_index(ti, tj)) * kSamples;
+      for (std::size_t i = 0; i < kSamples; ++i) {
+        row[i] = ad4_vdw_hbond(ti, tj, sample_r(static_cast<int>(i)), weights_);
+      }
+    }
+  }
+  constexpr double kCoulomb = 332.06;
+  constexpr double kSigma = 3.6;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double r = sample_r(static_cast<int>(i));
+    coulomb_[i] =
+        weights_.estat * kCoulomb / (mehler_solmajer_dielectric(r) * r);
+    gauss_[i] =
+        weights_.desolv * std::exp(-(r * r) / (2.0 * kSigma * kSigma));
+  }
+}
+
+double Ad4PairTables::pair_energy(mol::AdType ti, double qi, mol::AdType tj,
+                                  double qj, double r2) const {
+  if (r2 >= lut::kCutoffSq) {
+    return ad4_pair_energy(ti, qi, tj, qj, std::sqrt(r2), weights_);
+  }
+  constexpr double kQasp = 0.01097;
+  const auto& pi = mol::ad_type_params(ti);
+  const auto& pj = mol::ad_type_params(tj);
+  const double solv = (pi.solpar + kQasp * std::abs(qi)) * pj.volume +
+                      (pj.solpar + kQasp * std::abs(qj)) * pi.volume;
+  return vdw_hbond(ti, tj, r2) + qi * qj * coulomb_factor(r2) +
+         solv * desolv_gauss(r2);
+}
+
+std::shared_ptr<const Ad4PairTables> Ad4PairTables::shared(
+    const Ad4Weights& weights) {
+  static Mutex mutex;
+  static std::vector<std::pair<Ad4Weights, std::shared_ptr<const Ad4PairTables>>>
+      cache;
+  MutexLock lock(mutex);
+  for (const auto& [w, tables] : cache) {
+    if (same_weights(w, weights)) return tables;
+  }
+  auto tables = std::make_shared<const Ad4PairTables>(weights);
+  cache.emplace_back(weights, tables);
+  return tables;
+}
+
+VinaPairTables::VinaPairTables(const VinaWeights& weights)
+    : weights_(weights),
+      pair_(static_cast<std::size_t>(lut::kPairCount) * kSamples) {
+  for (int lo = 0; lo < mol::kAdTypeCount; ++lo) {
+    for (int hi = lo; hi < mol::kAdTypeCount; ++hi) {
+      const auto ti = static_cast<mol::AdType>(lo);
+      const auto tj = static_cast<mol::AdType>(hi);
+      double* row = pair_.data() +
+                    static_cast<std::size_t>(lut::pair_index(ti, tj)) * kSamples;
+      for (std::size_t i = 0; i < kSamples; ++i) {
+        // No distance floor here: the analytic Vina term is finite at
+        // r = 0 (harmonic repulsion on the surface distance).
+        const double r = std::sqrt(static_cast<double>(i) * kStep);
+        row[i] = vina_pair_energy(ti, tj, r, weights_);
+      }
+    }
+  }
+}
+
+std::shared_ptr<const VinaPairTables> VinaPairTables::shared(
+    const VinaWeights& weights) {
+  static Mutex mutex;
+  static std::vector<std::pair<VinaWeights, std::shared_ptr<const VinaPairTables>>>
+      cache;
+  MutexLock lock(mutex);
+  for (const auto& [w, tables] : cache) {
+    if (same_weights(w, weights)) return tables;
+  }
+  auto tables = std::make_shared<const VinaPairTables>(weights);
+  cache.emplace_back(weights, tables);
+  return tables;
+}
+
+}  // namespace scidock::dock

@@ -40,27 +40,32 @@ double& GridMap::at(int ix, int iy, int iz) { return values_[index(ix, iy, iz)];
 double GridMap::at(int ix, int iy, int iz) const { return values_[index(ix, iy, iz)]; }
 
 double GridMap::sample(const mol::Vec3& p) const {
-  const mol::Vec3 o = box_.origin();
-  const double fx = (p.x - o.x) / box_.spacing;
-  const double fy = (p.y - o.y) / box_.spacing;
-  const double fz = (p.z - o.z) / box_.spacing;
-  if (fx < 0 || fy < 0 || fz < 0 || fx > box_.npts[0] - 1 ||
-      fy > box_.npts[1] - 1 || fz > box_.npts[2] - 1) {
-    return kOutOfBoxPenalty;
-  }
-  const int ix = std::min(static_cast<int>(fx), box_.npts[0] - 2);
-  const int iy = std::min(static_cast<int>(fy), box_.npts[1] - 2);
-  const int iz = std::min(static_cast<int>(fz), box_.npts[2] - 2);
-  const double tx = fx - ix;
-  const double ty = fy - iy;
-  const double tz = fz - iz;
+  const TrilinearSampler s(box_, p);
+  return s.in_box() ? s.apply(*this) : kOutOfBoxPenalty;
+}
 
-  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
-  const double c00 = lerp(at(ix, iy, iz), at(ix + 1, iy, iz), tx);
-  const double c10 = lerp(at(ix, iy + 1, iz), at(ix + 1, iy + 1, iz), tx);
-  const double c01 = lerp(at(ix, iy, iz + 1), at(ix + 1, iy, iz + 1), tx);
-  const double c11 = lerp(at(ix, iy + 1, iz + 1), at(ix + 1, iy + 1, iz + 1), tx);
-  return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz);
+TrilinearSampler::TrilinearSampler(const GridBox& box, const mol::Vec3& p) {
+  SCIDOCK_ASSERT(box.npts[0] >= 2 && box.npts[1] >= 2 && box.npts[2] >= 2);
+  const mol::Vec3 o = box.origin();
+  const double fx = (p.x - o.x) / box.spacing;
+  const double fy = (p.y - o.y) / box.spacing;
+  const double fz = (p.z - o.z) / box.spacing;
+  if (fx < 0 || fy < 0 || fz < 0 || fx > box.npts[0] - 1 ||
+      fy > box.npts[1] - 1 || fz > box.npts[2] - 1) {
+    return;  // in_box_ stays false
+  }
+  const int ix = std::min(static_cast<int>(fx), box.npts[0] - 2);
+  const int iy = std::min(static_cast<int>(fy), box.npts[1] - 2);
+  const int iz = std::min(static_cast<int>(fz), box.npts[2] - 2);
+  tx_ = fx - ix;
+  ty_ = fy - iy;
+  tz_ = fz - iz;
+  sy_ = static_cast<std::size_t>(box.npts[0]);
+  sz_ = sy_ * static_cast<std::size_t>(box.npts[1]);
+  base_ = static_cast<std::size_t>(ix) +
+          sy_ * static_cast<std::size_t>(iy) +
+          sz_ * static_cast<std::size_t>(iz);
+  in_box_ = true;
 }
 
 std::string GridMap::to_map_file() const {

@@ -65,6 +65,11 @@ class GridMap {
   /// Value returned for out-of-box samples.
   static constexpr double kOutOfBoxPenalty = 1.0e5;
 
+  /// Unchecked linear-index access for the fused sampling hot path. The
+  /// caller (TrilinearSampler) validated the cell against the box once;
+  /// per-corner `SCIDOCK_ASSERT`s stay out of the inner loop.
+  double value_unchecked(std::size_t linear) const { return values_[linear]; }
+
   std::vector<double>& values() { return values_; }
   const std::vector<double>& values() const { return values_; }
 
@@ -79,6 +84,46 @@ class GridMap {
   GridBox box_;
   std::string label_;
   std::vector<double> values_;
+};
+
+/// Trilinear cell + weights for one position in one box, computed once and
+/// applied to any number of maps sharing that box — the fused sampling
+/// path: AD4 reads the affinity, electrostatic and desolvation maps per
+/// atom, so fusing saves two thirds of the origin/index math.
+///
+/// apply() reproduces GridMap::sample() bit for bit (same corner loads,
+/// same lerp association); GridMap::sample() itself delegates here.
+class TrilinearSampler {
+ public:
+  TrilinearSampler(const GridBox& box, const mol::Vec3& p);
+
+  bool in_box() const { return in_box_; }
+
+  /// Interpolate `map` at the constructor position. Contract: `map`
+  /// shares the constructor box (same npts/spacing/origin) and the
+  /// position was in the box; unchecked in the inner loop.
+  double apply(const GridMap& map) const {
+    auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+    const std::size_t b = base_;
+    const double c00 =
+        lerp(map.value_unchecked(b), map.value_unchecked(b + 1), tx_);
+    const double c10 = lerp(map.value_unchecked(b + sy_),
+                            map.value_unchecked(b + sy_ + 1), tx_);
+    const double c01 = lerp(map.value_unchecked(b + sz_),
+                            map.value_unchecked(b + sz_ + 1), tx_);
+    const double c11 = lerp(map.value_unchecked(b + sy_ + sz_),
+                            map.value_unchecked(b + sy_ + sz_ + 1), tx_);
+    return lerp(lerp(c00, c10, ty_), lerp(c01, c11, ty_), tz_);
+  }
+
+ private:
+  std::size_t base_ = 0;
+  std::size_t sy_ = 0;  ///< +1 in y: npts[0]
+  std::size_t sz_ = 0;  ///< +1 in z: npts[0] * npts[1]
+  double tx_ = 0.0;
+  double ty_ = 0.0;
+  double tz_ = 0.0;
+  bool in_box_ = false;
 };
 
 /// The full AutoGrid output for one receptor/box: one affinity map per

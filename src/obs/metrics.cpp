@@ -147,6 +147,13 @@ double MetricsRegistry::gauge_value(std::string_view name) const {
   return it == shard.gauges.end() ? 0.0 : it->second->value();
 }
 
+long long MetricsRegistry::histogram_count(std::string_view name) const {
+  const Shard& shard = shard_for(name);
+  MutexLock lock(shard.mutex);
+  const auto it = shard.histograms.find(name);
+  return it == shard.histograms.end() ? 0 : it->second->count();
+}
+
 std::size_t MetricsRegistry::series_count() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {

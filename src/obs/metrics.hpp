@@ -104,6 +104,8 @@ class MetricsRegistry {
   /// gauge, or 0 when the name was never registered.
   long long counter_value(std::string_view name) const;
   double gauge_value(std::string_view name) const;
+  /// Observation count of a histogram, or 0 when never registered.
+  long long histogram_count(std::string_view name) const;
   /// Number of registered series (counters + gauges + histograms).
   std::size_t series_count() const;
 

@@ -49,6 +49,26 @@ inline constexpr const char* kTuplesLost =
 inline constexpr const char* kActivationSeconds =
     "scidock_executor_activation_seconds";
 
+// ---- grid-map cache + kernel series (DESIGN.md §10) ----
+// The single-flight grid-map cache counts each AutoGrid activation as
+// exactly one of hit / miss / inflight-wait once it finishes, so
+// hits + misses + waits == count(FINISHED autogrid activations) and the
+// InvariantChecker reconciles the three against PROV-Wf SQL.
+inline constexpr const char* kCacheGridmapsHits =
+    "scidock_cache_gridmaps_hits_total";
+inline constexpr const char* kCacheGridmapsMisses =
+    "scidock_cache_gridmaps_misses_total";
+inline constexpr const char* kCacheGridmapsInflightWaits =
+    "scidock_cache_gridmaps_inflight_waits_total";
+// Kernel-side series: map-set computations (one per cache miss at most),
+// z-slabs executed, and per-slab wall time (the AutoGrid fan-out shape).
+inline constexpr const char* kKernelAutogridMapsets =
+    "scidock_kernel_autogrid_mapsets_total";
+inline constexpr const char* kKernelAutogridSlabs =
+    "scidock_kernel_autogrid_slabs_total";
+inline constexpr const char* kKernelAutogridSlabSeconds =
+    "scidock_kernel_autogrid_slab_seconds";
+
 /// Pre-resolved executor counter handles: both executors increment the
 /// same series; resolving once keeps the hot path at one atomic add.
 struct ExecutorCounters {

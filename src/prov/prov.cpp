@@ -33,6 +33,16 @@ std::string retried_activation_count_sql(long long wkfid) {
       wkfid);
 }
 
+std::string finished_activation_count_sql(long long wkfid,
+                                          std::string_view activity_tag) {
+  return strformat(
+      "SELECT count(*) FROM hactivity a, hactivation t "
+      "WHERE t.actid = a.actid AND a.wkfid = %lld "
+      "AND a.tag = '%s' AND t.status = '%s'",
+      wkfid, std::string(activity_tag).c_str(),
+      std::string(kStatusFinished).c_str());
+}
+
 ProvenanceStore::ProvenanceStore() {
   db_.create_table("hmachine", {"vmid", "type", "cores", "speed_factor"});
   db_.create_table("hworkflow",

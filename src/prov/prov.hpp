@@ -47,6 +47,13 @@ std::string activation_count_sql(long long wkfid);
 std::string activations_by_status_sql(long long wkfid);
 /// count(*) of the run's rows with attempts > 1 (== activations retried).
 std::string retried_activation_count_sql(long long wkfid);
+/// count(*) of the run's FINISHED activations of one activity tag — a
+/// two-table equi-join (hactivation x hactivity), which the SQL engine
+/// executes through its hash-join fast path. Reconciles the grid-map
+/// cache counters: hits + misses + inflight_waits over the AutoGrid
+/// stage must equal this count.
+std::string finished_activation_count_sql(long long wkfid,
+                                          std::string_view activity_tag);
 
 class ProvenanceStore {
  public:

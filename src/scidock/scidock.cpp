@@ -1,5 +1,8 @@
 #include "scidock/scidock.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <tuple>
 #include <unordered_map>
 
 #include "dock/autodock4.hpp"
@@ -22,47 +25,84 @@ using wf::ActivationContext;
 using wf::Stage;
 using wf::Tuple;
 
-/// Keyed caches for the three expensive intermediates. Thread-safe;
-/// shared_ptr values so readers keep entries alive without copying.
-class ArtifactCache {
- public:
-  std::shared_ptr<const mol::PreparedLigand> ligand(const std::string& key) {
-    MutexLock lock(mutex_);
-    const auto it = ligands_.find(key);
-    return it == ligands_.end() ? nullptr : it->second;
-  }
-  void put_ligand(const std::string& key, mol::PreparedLigand value) {
-    MutexLock lock(mutex_);
-    ligands_[key] = std::make_shared<mol::PreparedLigand>(std::move(value));
-  }
-  std::shared_ptr<const mol::PreparedReceptor> receptor(const std::string& key) {
-    MutexLock lock(mutex_);
-    const auto it = receptors_.find(key);
-    return it == receptors_.end() ? nullptr : it->second;
-  }
-  void put_receptor(const std::string& key, mol::PreparedReceptor value) {
-    MutexLock lock(mutex_);
-    receptors_[key] = std::make_shared<mol::PreparedReceptor>(std::move(value));
-  }
-  std::shared_ptr<const dock::GridMapSet> maps(const std::string& key) {
-    MutexLock lock(mutex_);
-    const auto it = maps_.find(key);
-    return it == maps_.end() ? nullptr : it->second;
-  }
-  void put_maps(const std::string& key, dock::GridMapSet value) {
-    MutexLock lock(mutex_);
-    maps_[key] = std::make_shared<dock::GridMapSet>(std::move(value));
-  }
+std::shared_ptr<const mol::PreparedLigand> ArtifactCache::ligand(
+    const std::string& key) {
+  MutexLock lock(mutex_);
+  const auto it = ligands_.find(key);
+  return it == ligands_.end() ? nullptr : it->second;
+}
 
- private:
-  Mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedLigand>>
-      ligands_ SCIDOCK_GUARDED_BY(mutex_);
-  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedReceptor>>
-      receptors_ SCIDOCK_GUARDED_BY(mutex_);
-  std::unordered_map<std::string, std::shared_ptr<const dock::GridMapSet>>
-      maps_ SCIDOCK_GUARDED_BY(mutex_);
-};
+void ArtifactCache::put_ligand(const std::string& key, mol::PreparedLigand value) {
+  MutexLock lock(mutex_);
+  ligands_[key] = std::make_shared<mol::PreparedLigand>(std::move(value));
+}
+
+std::shared_ptr<const mol::PreparedReceptor> ArtifactCache::receptor(
+    const std::string& key) {
+  MutexLock lock(mutex_);
+  const auto it = receptors_.find(key);
+  return it == receptors_.end() ? nullptr : it->second;
+}
+
+void ArtifactCache::put_receptor(const std::string& key,
+                                 mol::PreparedReceptor value) {
+  MutexLock lock(mutex_);
+  receptors_[key] = std::make_shared<mol::PreparedReceptor>(std::move(value));
+}
+
+ArtifactCache::MapsPtr ArtifactCache::maps(const std::string& key) {
+  MutexLock lock(mutex_);
+  const auto it = maps_.find(key);
+  return it == maps_.end() ? nullptr : it->second;
+}
+
+void ArtifactCache::put_maps(const std::string& key, dock::GridMapSet value) {
+  MutexLock lock(mutex_);
+  maps_[key] = std::make_shared<dock::GridMapSet>(std::move(value));
+}
+
+void ArtifactCache::alias_maps(const std::string& key, MapsPtr value) {
+  MutexLock lock(mutex_);
+  maps_[key] = std::move(value);
+}
+
+std::pair<ArtifactCache::MapsPtr, CacheOutcome>
+ArtifactCache::get_or_compute_maps(
+    const std::string& key,
+    const std::function<dock::GridMapSet()>& compute) {
+  std::shared_future<MapsPtr> future;
+  std::shared_ptr<std::promise<MapsPtr>> owner;
+  CacheOutcome outcome = CacheOutcome::kMiss;
+  {
+    MutexLock lock(mutex_);
+    const auto it = map_flights_.find(key);
+    if (it != map_flights_.end()) {
+      future = it->second.future;
+      outcome = future.wait_for(std::chrono::seconds(0)) ==
+                        std::future_status::ready
+                    ? CacheOutcome::kHit
+                    : CacheOutcome::kInflightWait;
+    } else {
+      owner = std::make_shared<std::promise<MapsPtr>>();
+      MapFlight flight{owner, owner->get_future().share()};
+      future = flight.future;
+      map_flights_.emplace(key, std::move(flight));
+    }
+  }
+  if (owner) {
+    try {
+      owner->set_value(std::make_shared<const dock::GridMapSet>(compute()));
+    } catch (...) {
+      // Waiters already holding the future see the exception; erasing the
+      // flight lets the executor's retry (or a later tuple) recompute.
+      owner->set_exception(std::current_exception());
+      MutexLock lock(mutex_);
+      map_flights_.erase(key);
+      throw;
+    }
+  }
+  return {future.get(), outcome};  // blocks inflight waiters; rethrows
+}
 
 std::shared_ptr<ArtifactCache> make_artifact_cache() {
   return std::make_shared<ArtifactCache>();
@@ -104,6 +144,24 @@ bool tuple_hg(const Tuple& t) { return t.get("hg").value_or("0") == "1"; }
 std::string pair_dir(const ScidockOptions& opts, const char* stage,
                      const Tuple& t) {
   return opts.expdir + "/" + stage + "/" + t.require("pair") + "/";
+}
+
+/// Canonical single-flight key: receptor identity + exact box geometry +
+/// sorted type set. Tuples agreeing on all three share one map set.
+std::string gridmaps_cache_key(const std::string& receptor_pdbqt,
+                               const dock::GridParameterFile& gpf) {
+  std::string key = receptor_pdbqt;
+  key += strformat("|%d,%d,%d|%.6f|%.6f,%.6f,%.6f", gpf.box.npts[0],
+                   gpf.box.npts[1], gpf.box.npts[2], gpf.box.spacing,
+                   gpf.box.center.x, gpf.box.center.y, gpf.box.center.z);
+  std::vector<std::string> names;
+  names.reserve(gpf.ligand_types.size());
+  for (mol::AdType t : gpf.ligand_types) {
+    names.emplace_back(mol::ad_type_name(t));
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& n : names) key += "|" + n;
+  return key;
 }
 
 }  // namespace
@@ -177,9 +235,14 @@ wf::Pipeline build_scidock_pipeline(const ScidockOptions& opts,
         const auto rec = load_receptor(cache, ctx, in.require("receptor_pdbqt"));
         const auto lig =
             load_ligand(cache, ctx, in.require("ligand_pdbqt"));
+        // The screening GPF canonicalises the box (floored + quantised
+        // half-extent) and widens the type set to every supported type,
+        // so all ligands of one receptor share one GPF — the property
+        // grid-map reuse keys on. Applied regardless of reuse_grid_maps
+        // so cache on/off produce identical files.
         dock::GridParameterFile gpf =
-            dock::make_gpf(rec->molecule, lig->molecule,
-                           /*box_padding=*/4.0, o.grid_spacing);
+            dock::make_screening_gpf(rec->molecule, lig->molecule,
+                                     /*box_padding=*/4.0, o.grid_spacing);
         const std::string out_path = pair_dir(o, kGpfPrep, in) + "grid.gpf";
         ctx.emit_file(out_path, gpf.to_text());
         Tuple out = in;
@@ -196,15 +259,61 @@ wf::Pipeline build_scidock_pipeline(const ScidockOptions& opts,
         const dock::GridParameterFile gpf =
             dock::GridParameterFile::parse(ctx.fs->read(gpf_path));
         const auto rec = load_receptor(cache, ctx, in.require("receptor_pdbqt"));
-        const dock::GridMapCalculator calc(rec->molecule);
-        dock::GridMapSet maps = calc.calculate(gpf.box, gpf.ligand_types);
+
+        // Kernel observability: per-slab counter/histogram plus a trace
+        // span per slab so the trace shows the AutoGrid fan-out shape.
+        dock::AutogridOptions agopts;
+        obs::Counter* slabs = nullptr;
+        obs::HistogramMetric* slab_seconds = nullptr;
+        obs::Counter* mapsets = nullptr;
+        if (ctx.obs.metrics != nullptr) {
+          slabs = &ctx.obs.metrics->counter(obs::kKernelAutogridSlabs);
+          slab_seconds =
+              &ctx.obs.metrics->histogram(obs::kKernelAutogridSlabSeconds);
+          mapsets = &ctx.obs.metrics->counter(obs::kKernelAutogridMapsets);
+        }
+        if (slabs != nullptr || ctx.obs.trace != nullptr) {
+          obs::TraceRecorder* trace = ctx.obs.trace;
+          agopts.slab_observer = [slabs, slab_seconds, trace](int iz,
+                                                             double seconds) {
+            if (slabs != nullptr) slabs->inc();
+            if (slab_seconds != nullptr) slab_seconds->observe(seconds);
+            if (trace != nullptr) {
+              const double dur_us = seconds * 1e6;
+              trace->complete_span("autogrid-slab", "kernel",
+                                   trace->now_us() - dur_us, dur_us,
+                                   obs::current_thread_id(),
+                                   {{"iz", std::to_string(iz)}});
+            }
+          };
+        }
+
+        const auto compute = [&]() {
+          const dock::GridMapCalculator calc(rec->molecule, agopts);
+          dock::GridMapSet maps = calc.calculate(gpf.box, gpf.ligand_types);
+          // Counted at compute time (not activation end): a computation
+          // whose activation later fails still happened, so the checker's
+          // bound is mapsets >= misses, not equality.
+          if (mapsets != nullptr) mapsets->inc();
+          return maps;
+        };
+
+        ArtifactCache::MapsPtr maps;
+        CacheOutcome outcome = CacheOutcome::kMiss;
+        if (o.reuse_grid_maps) {
+          std::tie(maps, outcome) = cache->get_or_compute_maps(
+              gridmaps_cache_key(in.require("receptor_pdbqt"), gpf), compute);
+        } else {
+          maps = std::make_shared<const dock::GridMapSet>(compute());
+        }
+
         const std::string prefix = pair_dir(o, kAutogrid, in) + "receptor";
         // The field file always lands on the shared FS (it is what the DPF
         // references); the bulky per-type maps only when asked.
         std::string fld = strformat(
             "# scidock maps field file\nspacing %.4f\nnmaps %d\n",
-            gpf.box.spacing, maps.file_count());
-        for (const auto& [type, map] : maps.affinity) {
+            gpf.box.spacing, maps->file_count());
+        for (const auto& [type, map] : maps->affinity) {
           fld += "map receptor." + std::string(mol::ad_type_name(type)) + ".map\n";
           if (o.write_map_files) {
             ctx.emit_file(prefix + "." + std::string(mol::ad_type_name(type)) + ".map",
@@ -212,11 +321,24 @@ wf::Pipeline build_scidock_pipeline(const ScidockOptions& opts,
           }
         }
         if (o.write_map_files) {
-          ctx.emit_file(prefix + ".e.map", maps.electrostatic.to_map_file());
-          ctx.emit_file(prefix + ".d.map", maps.desolvation.to_map_file());
+          ctx.emit_file(prefix + ".e.map", maps->electrostatic.to_map_file());
+          ctx.emit_file(prefix + ".d.map", maps->desolvation.to_map_file());
         }
         ctx.emit_file(prefix + ".maps.fld", fld);
-        cache->put_maps(prefix, std::move(maps));
+        // The AD4 stage looks maps up by the per-pair prefix it reads from
+        // the DPF; alias that name to the shared set (no copy).
+        cache->alias_maps(prefix, maps);
+        // Cache outcome counters last, after every output landed: a faulted
+        // activation (chaos VFS writes) reruns and counts only once, when
+        // it FINISHES — the invariant the PROV-Wf reconciliation checks.
+        if (ctx.obs.metrics != nullptr) {
+          const char* name = outcome == CacheOutcome::kHit
+                                 ? obs::kCacheGridmapsHits
+                                 : outcome == CacheOutcome::kMiss
+                                       ? obs::kCacheGridmapsMisses
+                                       : obs::kCacheGridmapsInflightWaits;
+          ctx.obs.metrics->counter(name).inc();
+        }
         Tuple out = in;
         out.set("maps_prefix", prefix);
         return std::vector<Tuple>{out};

@@ -17,11 +17,18 @@
 ///   8a autodock4    — LGA docking over the maps, .dlg output
 ///   8b autodockvina — MC docking, Vina log output
 
+#include <functional>
+#include <future>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "data/generator.hpp"
 #include "dock/dpf.hpp"
+#include "dock/grid.hpp"
+#include "mol/prepare.hpp"
+#include "util/thread_annotations.hpp"
 #include "wf/pipeline.hpp"
 #include "wf/workflow.hpp"
 
@@ -48,13 +55,64 @@ struct ScidockOptions {
 
   double grid_spacing = 0.55;   ///< Å; AutoGrid's default 0.375 is slower
   bool write_map_files = false; ///< also serialise .map files to the VFS
+  /// Single-flight grid-map reuse (DESIGN.md §10): AutoGrid activations
+  /// sharing a (receptor, box, type-set) key compute the map set once and
+  /// share the result. Off recomputes per tuple, as the paper's original
+  /// workflow does; outputs are bit-identical either way.
+  bool reuse_grid_maps = true;
   std::string expdir = "/root/exp_SciDock";
+};
+
+/// How a get_or_compute_maps call was satisfied. An activation reports
+/// exactly one outcome, so summed over a run:
+///   hits + misses + inflight_waits == finished AutoGrid activations.
+enum class CacheOutcome {
+  kHit,           ///< result was already computed and ready
+  kMiss,          ///< this caller computed it (single-flight owner)
+  kInflightWait,  ///< another caller was computing; this one blocked
 };
 
 /// Shared in-process cache of expensive intermediates (prepared
 /// structures and grid maps), keyed by file path. Plays the role of a
-/// VM-local scratch cache over the shared filesystem.
-class ArtifactCache;
+/// VM-local scratch cache over the shared filesystem. Thread-safe;
+/// shared_ptr values so readers keep entries alive without copying.
+class ArtifactCache {
+ public:
+  using MapsPtr = std::shared_ptr<const dock::GridMapSet>;
+
+  std::shared_ptr<const mol::PreparedLigand> ligand(const std::string& key);
+  void put_ligand(const std::string& key, mol::PreparedLigand value);
+  std::shared_ptr<const mol::PreparedReceptor> receptor(const std::string& key);
+  void put_receptor(const std::string& key, mol::PreparedReceptor value);
+  MapsPtr maps(const std::string& key);
+  void put_maps(const std::string& key, dock::GridMapSet value);
+  /// Register an additional name for an existing map set (the AutoGrid
+  /// stage aliases its per-pair maps_prefix to the shared canonical set).
+  void alias_maps(const std::string& key, MapsPtr value);
+
+  /// Single-flight lookup: the first caller for `key` runs `compute` while
+  /// concurrent callers for the same key block on its result instead of
+  /// recomputing; later callers get the cached set. If `compute` throws,
+  /// the flight is erased (a retry recomputes) and every caller sees the
+  /// exception.
+  std::pair<MapsPtr, CacheOutcome> get_or_compute_maps(
+      const std::string& key, const std::function<dock::GridMapSet()>& compute);
+
+ private:
+  struct MapFlight {
+    std::shared_ptr<std::promise<MapsPtr>> promise;
+    std::shared_future<MapsPtr> future;
+  };
+
+  Mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedLigand>>
+      ligands_ SCIDOCK_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::shared_ptr<const mol::PreparedReceptor>>
+      receptors_ SCIDOCK_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, MapsPtr> maps_ SCIDOCK_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, MapFlight> map_flights_
+      SCIDOCK_GUARDED_BY(mutex_);
+};
 
 /// Build the runnable pipeline: all stages with native implementations,
 /// routing, per-tuple workload scaling and the Hg hazard predicate. The

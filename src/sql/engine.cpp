@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <unordered_map>
 
 #include "sql/parser.hpp"
 #include "util/error.hpp"
@@ -575,25 +576,119 @@ ResultSet Engine::execute_select(const SelectStmt& stmt) {
     conjuncts_at[last].push_back(c);
   }
 
-  // --- nested-loop join with push-down ---
+  // --- hash-join upgrade for equality conjuncts ---
+  // A depth whose pushed-down conjuncts include `inner.col = outer.col`
+  // (both plain column refs, the other side bound at an earlier depth)
+  // gets a hash table over the inner rows, turning the ubiquitous
+  // provenance pattern "FROM hactivation t, hactivity a WHERE
+  // t.actid = a.actid" from O(n*m) probes into O(n+m). The buckets only
+  // narrow the candidate rows — every conjunct is still evaluated per
+  // candidate (guarding against key collisions, e.g. int64s beyond
+  // double precision) and bucket order preserves table row order, so
+  // results match the pure nested loop row for row.
+  struct EquiKey {
+    int local_col = -1;  ///< column on this depth's (inner) table
+    int outer_table = -1;
+    int outer_col = -1;
+  };
+  struct HashStage {
+    std::vector<EquiKey> keys;
+    std::unordered_map<std::string, std::vector<const Row*>> buckets;
+    bool active = false;
+  };
+
+  // Key encoding mirrors Value::compare under Eq: NULL matches nothing
+  // (caller skips the row), numerics compare through as_double (so int 2
+  // and double 2.0 share a key, with -0.0 collapsed onto 0.0), strings
+  // compare bytewise and never equal numerics (distinct prefixes).
+  const auto append_key_part = [](const Value& v, std::string& out) {
+    if (v.is_null()) return false;
+    if (v.is_string()) {
+      out += "s:";
+      out += v.as_string();
+    } else {
+      double d = v.as_double();
+      if (d == 0.0) d = 0.0;
+      out += strformat("n:%.17g", d);
+    }
+    out += '\x1f';  // separator so multi-key parts cannot run together
+    return true;
+  };
+
+  std::vector<HashStage> hash_stages(n_tables);
+  for (std::size_t t = 1; t < n_tables; ++t) {
+    HashStage& hs = hash_stages[t];
+    for (const Expr* c : conjuncts_at[t]) {
+      if (c->kind != Expr::Kind::Binary || c->binary_op != BinaryOp::Eq) continue;
+      const Expr* l = c->lhs.get();
+      const Expr* r = c->rhs.get();
+      if (l->kind != Expr::Kind::Column || r->kind != Expr::Kind::Column) continue;
+      ColumnRefResolved lr;
+      ColumnRefResolved rr;
+      try {
+        lr = resolve_column(bindings, l->qualifier, l->column);
+        rr = resolve_column(bindings, r->qualifier, r->column);
+      } catch (...) {
+        continue;  // fall back; eval reports the bad reference naturally
+      }
+      const int ti = static_cast<int>(t);
+      if (lr.table == ti && rr.table < ti) {
+        hs.keys.push_back({lr.column, rr.table, rr.column});
+      } else if (rr.table == ti && lr.table < ti) {
+        hs.keys.push_back({rr.column, lr.table, lr.column});
+      }
+    }
+    if (hs.keys.empty()) continue;
+    hs.active = true;
+    for (const Row& row : bindings[t].table->rows()) {
+      std::string key;
+      bool keyable = true;
+      for (const EquiKey& k : hs.keys) {
+        if (!append_key_part(row[static_cast<std::size_t>(k.local_col)], key)) {
+          keyable = false;  // NULL key: Eq can never pass for this row
+          break;
+        }
+      }
+      if (keyable) hs.buckets[std::move(key)].push_back(&row);
+    }
+  }
+
+  // --- nested-loop join with push-down (hash probe where upgraded) ---
   std::vector<std::vector<const Row*>> joined;
+  joined.reserve(bindings[0].table->rows().size());
   std::vector<const Row*> current(n_tables, nullptr);
   auto descend = [&](auto&& self, std::size_t depth) -> void {
     if (depth == n_tables) {
       joined.push_back(current);
       return;
     }
-    for (const Row& row : bindings[depth].table->rows()) {
+    const auto try_row = [&](const Row& row) {
       current[depth] = &row;
       Scope scope{&bindings, &current};
-      bool pass = true;
       for (const Expr* c : conjuncts_at[depth]) {
-        if (!truthy(eval(*c, scope))) {
-          pass = false;
+        if (!truthy(eval(*c, scope))) return;
+      }
+      self(self, depth + 1);
+    };
+    const HashStage& hs = hash_stages[depth];
+    if (hs.active) {
+      std::string key;
+      bool keyable = true;
+      for (const EquiKey& k : hs.keys) {
+        const Row& outer = *current[static_cast<std::size_t>(k.outer_table)];
+        if (!append_key_part(outer[static_cast<std::size_t>(k.outer_col)], key)) {
+          keyable = false;
           break;
         }
       }
-      if (pass) self(self, depth + 1);
+      if (keyable) {
+        const auto it = hs.buckets.find(key);
+        if (it != hs.buckets.end()) {
+          for (const Row* row : it->second) try_row(*row);
+        }
+      }
+    } else {
+      for (const Row& row : bindings[depth].table->rows()) try_row(row);
     }
     current[depth] = nullptr;
   };

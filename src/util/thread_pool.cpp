@@ -48,11 +48,16 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  grain = std::max<std::size_t>(grain, 1);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve((n + grain - 1) / grain);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(begin + grain, n);
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {

@@ -89,8 +89,13 @@ class ThreadPool {
   }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from any iteration are rethrown (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// `grain` > 1 batches that many consecutive indices into one task, so
+  /// fine-grained loops (AutoGrid z-slabs, MC chains) don't pay one
+  /// dispatch + hook invocation per index; task and stats hooks then fire
+  /// once per chunk. A chunk stops at the first throwing iteration, and
+  /// exceptions from any chunk are rethrown (first submitted wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
  private:
   /// Fires `finished` (if set) when the task body leaves scope — normal

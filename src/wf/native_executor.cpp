@@ -77,6 +77,7 @@ NativeReport NativeExecutor::run(const Relation& input,
           ActivationContext ctx;
           ctx.fs = &fs_;
           ctx.prov = &prov_;
+          ctx.obs = options_.obs;
           ctx.wkfid = wkfid;
           ctx.actid = actids[st.tag];
           ctx.expdir = options_.expdir;

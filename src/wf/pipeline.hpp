@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "prov/prov.hpp"
 #include "util/rng.hpp"
 #include "vfs/vfs.hpp"
@@ -28,6 +29,10 @@ struct ActivationContext {
   std::string expdir;     ///< experiment root directory on the shared FS
   double now = 0.0;       ///< current time (wall or simulation seconds)
   Rng rng;                ///< per-activation deterministic stream
+  /// Executor's observability context (null members = no instrumentation),
+  /// so stage impls can emit domain metrics/spans (grid-map cache hits,
+  /// AutoGrid slab timings) into the same registry/trace as the executor.
+  obs::Observability obs{};
 
   /// Convenience: write an output file and record it in provenance.
   void emit_file(const std::string& path, std::string content) const;

@@ -1,0 +1,403 @@
+// Kernel-equivalence suite (ctest -L kernels): the docking hot-path
+// rewrite of DESIGN.md §10 must not change results.
+//   - radial LUTs track the analytic scoring terms within a documented
+//     tolerance (and exactly reproduce clamp/cutoff behaviour);
+//   - fused trilinear sampling is bit-identical to per-map sampling;
+//   - AutoGrid maps are bit-identical across thread counts;
+//   - the single-flight grid-map cache computes once per key, propagates
+//     exceptions, and leaves pipeline outputs (FEB/RMSD, map files)
+//     bit-identical to cache-off runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "data/generator.hpp"
+#include "data/table2.hpp"
+#include "dock/autogrid.hpp"
+#include "dock/energy_lut.hpp"
+#include "dock/grid.hpp"
+#include "dock/scoring.hpp"
+#include "mol/prepare.hpp"
+#include "obs/obs.hpp"
+#include "scidock/experiment.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scidock::dock {
+namespace {
+
+using mol::AdType;
+
+// Documented LUT accuracy bound (energy_lut.hpp): interpolation against
+// the analytic path stays within 2e-3 kcal/mol absolute or 0.5% relative,
+// whichever is looser. The GA/MC search acts on energy differences an
+// order of magnitude above this.
+bool within_tolerance(double lut, double analytic) {
+  const double err = std::abs(lut - analytic);
+  return err <= 2e-3 || err <= 5e-3 * std::abs(analytic);
+}
+
+TEST(EnergyLut, Ad4PairEnergyMatchesAnalytic) {
+  const Ad4Weights w;
+  const auto tables = Ad4PairTables::shared(w);
+  const struct {
+    AdType ti, tj;
+    double qi, qj;
+  } pairs[] = {
+      {AdType::C, AdType::C, 0.1, -0.2},    // plain vdW
+      {AdType::C, AdType::OA, 0.2, -0.35},  // polar contact
+      {AdType::HD, AdType::OA, 0.16, -0.4}, // H-bond 12-10 well
+      {AdType::N, AdType::HD, -0.3, 0.16},
+      {AdType::SA, AdType::S, -0.1, 0.05},
+      {AdType::A, AdType::NA, 0.0, -0.25},
+  };
+  double max_err = 0.0;
+  for (const auto& p : pairs) {
+    for (double r = 0.1; r <= 8.0; r += 0.0103) {
+      const double analytic = ad4_pair_energy(p.ti, p.qi, p.tj, p.qj, r, w);
+      const double lut = tables->pair_energy(p.ti, p.qi, p.tj, p.qj, r * r);
+      EXPECT_TRUE(within_tolerance(lut, analytic))
+          << mol::ad_type_name(p.ti) << "-" << mol::ad_type_name(p.tj)
+          << " at r=" << r << ": lut=" << lut << " analytic=" << analytic;
+      max_err = std::max(max_err, std::abs(lut - analytic));
+    }
+  }
+  EXPECT_GT(max_err, 0.0);  // the table really is an approximation
+}
+
+TEST(EnergyLut, Ad4AnalyticTailBeyondCutoff) {
+  const Ad4Weights w;
+  const auto tables = Ad4PairTables::shared(w);
+  // Intramolecular pairs in extended ligands exceed 8 Å; past the table
+  // domain the LUT object falls back to the exact analytic path. Radii
+  // chosen so sqrt(r * r) == r exactly.
+  for (double r : {8.0, 10.0, 16.0, 40.0}) {
+    EXPECT_DOUBLE_EQ(tables->pair_energy(AdType::C, 0.2, AdType::OA, -0.3, r * r),
+                     ad4_pair_energy(AdType::C, 0.2, AdType::OA, -0.3, r, w));
+  }
+}
+
+TEST(EnergyLut, Ad4SubClampRegionConstant) {
+  const Ad4Weights w;
+  const auto tables = Ad4PairTables::shared(w);
+  // The analytic path clamps r at 0.5 Å; the table reproduces the
+  // constant plateau exactly (all samples below 0.25 Å² share r = 0.5).
+  const double at_clamp = ad4_pair_energy(AdType::C, 0.3, AdType::C, 0.3, 0.5, w);
+  for (double r2 : {0.0, 0.04, 0.12, 0.2}) {
+    EXPECT_NEAR(tables->pair_energy(AdType::C, 0.3, AdType::C, 0.3, r2),
+                at_clamp, 1e-12);
+  }
+}
+
+TEST(EnergyLut, VinaPairEnergyMatchesAnalytic) {
+  const VinaWeights w;
+  const auto tables = VinaPairTables::shared(w);
+  const std::pair<AdType, AdType> pairs[] = {
+      {AdType::C, AdType::C},   {AdType::C, AdType::A},
+      {AdType::OA, AdType::NA}, {AdType::OA, AdType::Mg},
+      {AdType::Cl, AdType::Br}, {AdType::H, AdType::C},  // skip pair: 0
+  };
+  for (const auto& [ti, tj] : pairs) {
+    for (double r = 0.3; r <= 8.5; r += 0.0107) {
+      const double analytic = vina_pair_energy(ti, tj, r, w);
+      const double lut = tables->pair_energy(ti, tj, r * r);
+      // The last bin blends the truncation step at the 8 Å cutoff, so
+      // allow the step magnitude there; elsewhere the standard bound
+      // (the relative term covers the steep sub-overlap repulsion).
+      const double err = std::abs(lut - analytic);
+      EXPECT_TRUE(err <= (r > 7.9 ? 6e-3 : 2e-3) ||
+                  err <= 5e-3 * std::abs(analytic))
+          << mol::ad_type_name(ti) << "-" << mol::ad_type_name(tj)
+          << " at r=" << r << ": lut=" << lut << " analytic=" << analytic;
+    }
+  }
+  EXPECT_DOUBLE_EQ(tables->pair_energy(AdType::C, AdType::C, 64.0), 0.0);
+  EXPECT_DOUBLE_EQ(tables->pair_energy(AdType::C, AdType::C, 100.0), 0.0);
+}
+
+TEST(EnergyLut, SharedRegistryReturnsSameTables) {
+  const Ad4Weights w;
+  EXPECT_EQ(Ad4PairTables::shared(w).get(), Ad4PairTables::shared(w).get());
+  Ad4Weights other = w;
+  other.vdw *= 2.0;
+  EXPECT_NE(Ad4PairTables::shared(w).get(), Ad4PairTables::shared(other).get());
+  const VinaWeights vw;
+  EXPECT_EQ(VinaPairTables::shared(vw).get(), VinaPairTables::shared(vw).get());
+}
+
+// ------------------------------------------------------- fused sampling
+
+TEST(TrilinearSampler, BitIdenticalToPerMapSample) {
+  const GridBox box = GridBox::around({1.0, -2.0, 3.0}, 6.0, 0.5);
+  Rng rng(11);
+  GridMap a(box, "A"), b(box, "e"), c(box, "d");
+  for (auto* m : {&a, &b, &c}) {
+    for (double& v : m->values()) v = rng.uniform(-10.0, 10.0);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const mol::Vec3 p{rng.uniform(-3.0, 5.0), rng.uniform(-6.0, 2.0),
+                      rng.uniform(-1.0, 7.0)};
+    const TrilinearSampler s(box, p);
+    ASSERT_TRUE(s.in_box());
+    // One cell/weight computation, applied to three maps, must equal the
+    // unfused per-map path bit for bit.
+    EXPECT_DOUBLE_EQ(s.apply(a), a.sample(p));
+    EXPECT_DOUBLE_EQ(s.apply(b), b.sample(p));
+    EXPECT_DOUBLE_EQ(s.apply(c), c.sample(p));
+  }
+  const TrilinearSampler outside(box, {100, 100, 100});
+  EXPECT_FALSE(outside.in_box());
+}
+
+// ------------------------------------------------------ parallel AutoGrid
+
+data::GeneratorOptions tiny() {
+  data::GeneratorOptions o;
+  o.min_residues = 10;
+  o.max_residues = 14;
+  o.min_ligand_atoms = 8;
+  o.max_ligand_atoms = 12;
+  o.hg_fraction = 0.0;
+  return o;
+}
+
+TEST(ParallelAutogrid, BitIdenticalAcrossThreadCounts) {
+  const mol::PreparedReceptor rec =
+      mol::prepare_receptor(data::make_receptor("1KER", tiny()));
+  const GridMapCalculator calc(rec.molecule);
+  const GridBox box = GridBox::around(rec.molecule.center(), 7.0, 0.6);
+  const std::vector<AdType> types = {AdType::C, AdType::OA, AdType::HD,
+                                     AdType::N};
+  const GridMapSet serial = calc.calculate(box, types);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const GridMapSet parallel = calc.calculate(box, types, &pool);
+    EXPECT_EQ(parallel.electrostatic.values(), serial.electrostatic.values())
+        << threads << " threads";
+    EXPECT_EQ(parallel.desolvation.values(), serial.desolvation.values());
+    ASSERT_EQ(parallel.affinity.size(), serial.affinity.size());
+    for (std::size_t t = 0; t < serial.affinity.size(); ++t) {
+      EXPECT_EQ(parallel.affinity[t].second.values(),
+                serial.affinity[t].second.values())
+          << "type " << mol::ad_type_name(serial.affinity[t].first) << ", "
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelAutogrid, SlabObserverFiresOncePerSlab) {
+  const mol::PreparedReceptor rec =
+      mol::prepare_receptor(data::make_receptor("1OBS", tiny()));
+  AutogridOptions opts;
+  std::atomic<int> slabs{0};
+  std::atomic<bool> negative{false};
+  opts.slab_observer = [&](int iz, double seconds) {
+    (void)iz;
+    slabs.fetch_add(1);
+    if (seconds < 0.0) negative.store(true);
+  };
+  const GridMapCalculator calc(rec.molecule, opts);
+  const GridBox box = GridBox::around(rec.molecule.center(), 6.0, 0.75);
+  ThreadPool pool(4);
+  calc.calculate(box, {AdType::C}, &pool);
+  EXPECT_EQ(slabs.load(), box.npts[2]);
+  EXPECT_FALSE(negative.load());
+}
+
+// ----------------------------------------------------- screening GPF
+
+TEST(ScreeningGpf, CanonicalAcrossLigands) {
+  const auto opts = tiny();
+  const mol::Molecule rec = data::make_receptor("1CAN", opts);
+  GridParameterFile first;
+  bool have_first = false;
+  for (const char* code : {"042", "074", "0E6"}) {
+    const GridParameterFile gpf =
+        make_screening_gpf(rec, data::make_ligand(code, opts), 4.0, 0.55);
+    if (!have_first) {
+      first = gpf;
+      have_first = true;
+      continue;
+    }
+    // Same receptor, any drug-like ligand: identical box and type set —
+    // the property the grid-map cache keys on.
+    EXPECT_EQ(gpf.box.npts, first.box.npts);
+    EXPECT_DOUBLE_EQ(gpf.box.center.x, first.box.center.x);
+    EXPECT_EQ(gpf.ligand_types, first.ligand_types);
+  }
+  EXPECT_EQ(first.ligand_types, screening_ligand_types());
+  EXPECT_GE(first.ligand_types.size(), 15u);
+}
+
+}  // namespace
+}  // namespace scidock::dock
+
+// -------------------------------------------------- single-flight cache
+
+namespace scidock::core {
+namespace {
+
+dock::GridMapSet tiny_mapset() {
+  dock::GridMapSet set;
+  set.box = dock::GridBox::around({0, 0, 0}, 2.0, 1.0);
+  set.electrostatic = dock::GridMap(set.box, "e");
+  set.desolvation = dock::GridMap(set.box, "d");
+  return set;
+}
+
+TEST(SingleFlightCache, ComputesOncePerKeyUnderContention) {
+  ArtifactCache cache;
+  std::atomic<int> computed{0};
+  std::atomic<int> hits{0}, misses{0}, waits{0};
+  std::vector<std::thread> threads;
+  std::vector<ArtifactCache::MapsPtr> results(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      auto [maps, outcome] = cache.get_or_compute_maps("k", [&] {
+        computed.fetch_add(1);
+        return tiny_mapset();
+      });
+      results[static_cast<std::size_t>(i)] = maps;
+      switch (outcome) {
+        case CacheOutcome::kHit: hits.fetch_add(1); break;
+        case CacheOutcome::kMiss: misses.fetch_add(1); break;
+        case CacheOutcome::kInflightWait: waits.fetch_add(1); break;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computed.load(), 1);
+  EXPECT_EQ(misses.load(), 1);
+  EXPECT_EQ(hits.load() + waits.load(), 7);
+  for (const auto& r : results) EXPECT_EQ(r.get(), results[0].get());
+}
+
+TEST(SingleFlightCache, DistinctKeysComputeIndependently) {
+  ArtifactCache cache;
+  int computed = 0;
+  const auto compute = [&] {
+    ++computed;
+    return tiny_mapset();
+  };
+  const auto [a, oa] = cache.get_or_compute_maps("a", compute);
+  const auto [b, ob] = cache.get_or_compute_maps("b", compute);
+  const auto [a2, oa2] = cache.get_or_compute_maps("a", compute);
+  EXPECT_EQ(computed, 2);
+  EXPECT_EQ(oa, CacheOutcome::kMiss);
+  EXPECT_EQ(ob, CacheOutcome::kMiss);
+  EXPECT_EQ(oa2, CacheOutcome::kHit);
+  EXPECT_EQ(a.get(), a2.get());
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(SingleFlightCache, ExceptionErasesFlightSoRetryRecomputes) {
+  ArtifactCache cache;
+  EXPECT_THROW(cache.get_or_compute_maps(
+                   "k", []() -> dock::GridMapSet {
+                     throw std::runtime_error("vfs fault");
+                   }),
+               std::runtime_error);
+  // The failed flight is gone: a retry computes fresh and succeeds.
+  const auto [maps, outcome] = cache.get_or_compute_maps("k", tiny_mapset);
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+  EXPECT_NE(maps, nullptr);
+}
+
+TEST(SingleFlightCache, AliasSharesTheSameSet) {
+  ArtifactCache cache;
+  const auto [maps, outcome] = cache.get_or_compute_maps("canonical", tiny_mapset);
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+  cache.alias_maps("/exp/autogrid/p1/receptor", maps);
+  cache.alias_maps("/exp/autogrid/p2/receptor", maps);
+  EXPECT_EQ(cache.maps("/exp/autogrid/p1/receptor").get(), maps.get());
+  EXPECT_EQ(cache.maps("/exp/autogrid/p2/receptor").get(), maps.get());
+  EXPECT_EQ(cache.maps("unknown"), nullptr);
+}
+
+// ------------------------------------------- pipeline-level equivalence
+
+std::vector<std::string> some_receptors(int n) {
+  const auto& all = data::table2_receptors();
+  return {all.begin(), all.begin() + n};
+}
+
+struct RunArtifacts {
+  std::map<std::string, std::pair<std::string, std::string>> feb_rmsd;  ///< by pair
+  std::map<std::string, std::string> autogrid_files;  ///< path -> content
+};
+
+RunArtifacts collect(Experiment& exp, const wf::NativeReport& report) {
+  RunArtifacts out;
+  for (const auto& t : report.output.tuples()) {
+    out.feb_rmsd[t.require("pair")] = {t.require("feb"), t.require("rmsd")};
+  }
+  for (const auto& f : exp.fs->list("/")) {
+    if (f.path.find("/autogrid/") != std::string::npos) {
+      out.autogrid_files[f.path] = exp.fs->read(f.path);
+    }
+  }
+  return out;
+}
+
+TEST(GridMapReuse, Table3OutputsIdenticalAcrossCacheAndThreads) {
+  ScidockOptions opts;
+  opts.dataset = dock::tiny();  // namespace-qualified helper above
+  opts.write_map_files = true;
+
+  // Baseline: cache off, single thread.
+  opts.reuse_grid_maps = false;
+  auto base_exp =
+      make_experiment(some_receptors(2), {"042", "074", "0E6"}, 0, opts);
+  const wf::NativeReport base_report = run_native(base_exp, 1, "base");
+  const RunArtifacts base = collect(base_exp, base_report);
+  ASSERT_EQ(base.feb_rmsd.size(), 6u);
+  ASSERT_FALSE(base.autogrid_files.empty());
+
+  // Cache on, multiple threads: FEB/RMSD (the Table 3 columns) and every
+  // AutoGrid artifact must be byte-identical.
+  opts.reuse_grid_maps = true;
+  for (int threads : {1, 4}) {
+    auto exp =
+        make_experiment(some_receptors(2), {"042", "074", "0E6"}, 0, opts);
+    const wf::NativeReport report =
+        run_native(exp, threads, "reuse" + std::to_string(threads));
+    const RunArtifacts got = collect(exp, report);
+    EXPECT_EQ(got.feb_rmsd, base.feb_rmsd) << threads << " threads";
+    EXPECT_EQ(got.autogrid_files, base.autogrid_files) << threads << " threads";
+  }
+}
+
+TEST(GridMapReuse, CacheCountersReconcileAndHit) {
+  ScidockOptions opts;
+  opts.dataset = dock::tiny();
+  opts.reuse_grid_maps = true;
+  auto exp = make_experiment(some_receptors(2), {"042", "074", "0E6"}, 0, opts);
+  obs::MetricsRegistry metrics;
+  const wf::NativeReport report =
+      run_native(exp, 4, "reuse-metrics", obs::Observability{nullptr, &metrics});
+  ASSERT_EQ(report.output.tuples().size(), 6u);
+  const long long hits = metrics.counter_value(obs::kCacheGridmapsHits);
+  const long long misses = metrics.counter_value(obs::kCacheGridmapsMisses);
+  const long long waits =
+      metrics.counter_value(obs::kCacheGridmapsInflightWaits);
+  // 6 AutoGrid activations over 2 receptors: one compute per receptor,
+  // everything else hits (or waited on the in-flight compute).
+  EXPECT_EQ(hits + misses + waits, 6);
+  EXPECT_EQ(misses, 2);
+  EXPECT_EQ(metrics.counter_value(obs::kKernelAutogridMapsets), 2);
+  // Slab counter and histogram observe from the same callback.
+  EXPECT_EQ(metrics.counter_value(obs::kKernelAutogridSlabs),
+            metrics.histogram_count(obs::kKernelAutogridSlabSeconds));
+  EXPECT_GT(metrics.counter_value(obs::kKernelAutogridSlabs), 0);
+}
+
+}  // namespace
+}  // namespace scidock::core

@@ -76,6 +76,51 @@ TEST(ThreadPoolStress, ParallelForFirstExceptionWins) {
   }
 }
 
+TEST(ThreadPoolStress, ParallelForGrainCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  // Any grain — unit, uneven, larger than n — visits each index exactly
+  // once; grain only changes task granularity, never coverage.
+  for (std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                            std::size_t{1000}}) {
+    std::vector<std::atomic<int>> visits(257);
+    pool.parallel_for(
+        visits.size(),
+        [&visits](std::size_t i) { visits[i].fetch_add(1); }, grain);
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, ParallelForGrainZeroBehavesAsUnit) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&total](std::size_t) { total.fetch_add(1); }, 0);
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPoolStress, ParallelForGrainFirstExceptionStillWins) {
+  ThreadPool pool(4);
+  // Chunked execution preserves the contract: the rethrown exception is
+  // the lowest-index failure (futures drain in chunk order and a chunk
+  // stops at its first throwing iteration).
+  std::atomic<int> after_throw{0};
+  try {
+    pool.parallel_for(
+        64,
+        [&after_throw](std::size_t i) {
+          if (i == 9) throw ActivityError("iteration 9");
+          if (i > 9 && i < 16) after_throw.fetch_add(1);
+        },
+        16);
+    FAIL() << "parallel_for should have thrown";
+  } catch (const ActivityError& e) {
+    EXPECT_STREQ(e.what(), "iteration 9");
+  }
+  // Iterations 10..15 share the throwing chunk and never ran.
+  EXPECT_EQ(after_throw.load(), 0);
+}
+
 TEST(ThreadPoolStress, SubmitExceptionsIsolatedPerFuture) {
   ThreadPool pool(2);
   auto ok = pool.submit([] { return 7; });
