@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# ci/check.sh — the full local verification matrix.
+#
+# Stages (each one configure + build + ctest in its own build tree):
+#   default   plain build, full suite minus bench-smoke — the tier-1 gate
+#   lockdep   SCIDOCK_LOCKDEP=ON: full suite (the analyzer rides along
+#             under every test), the lockdep negative controls, and the
+#             bench_lockdep overhead gate at the real 10x42 workload
+#   asan      address sanitizer  + lockdep, chaos/kernels/lockdep labels
+#   ubsan     undefined sanitizer + lockdep, chaos/kernels/lockdep labels
+#   tsan      thread sanitizer   + lockdep, chaos/kernels/lockdep labels
+#
+# The sanitizer stages run the concurrency-heavy labels only: those are
+# the suites that stress the executors, the docking kernels and the lock
+# discipline, where sanitizers earn their ~10x slowdown.
+#
+# Usage: ci/check.sh [stage ...]     (default: all stages, in order)
+#   e.g. ci/check.sh lockdep tsan
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+SANITIZER_LABELS='chaos|kernels|lockdep'
+
+run_ctest() { # dir, extra ctest args...
+  local dir="$1"
+  shift
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "$@")
+}
+
+configure_and_build() { # dir, cmake args...
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S "$REPO_ROOT" "$@"
+  cmake --build "$dir" -j "$JOBS"
+}
+
+stage_default() {
+  local dir="$REPO_ROOT/build-ci-default"
+  configure_and_build "$dir"
+  run_ctest "$dir" -LE bench-smoke
+}
+
+stage_lockdep() {
+  local dir="$REPO_ROOT/build-ci-lockdep"
+  configure_and_build "$dir" -DSCIDOCK_LOCKDEP=ON
+  run_ctest "$dir" -LE bench-smoke
+  # Acceptance gate: the enabled analyzer stays within 5% of baseline on
+  # the full screen; writes BENCH_lockdep.json into the build tree.
+  (cd "$dir" && ./bench/bench_lockdep)
+}
+
+stage_sanitizer() { # name, cmake SCIDOCK_SANITIZE value
+  local name="$1" sanitize="$2"
+  local dir="$REPO_ROOT/build-ci-$name"
+  configure_and_build "$dir" \
+    -DSCIDOCK_SANITIZE="$sanitize" -DSCIDOCK_LOCKDEP=ON \
+    -DSCIDOCK_BUILD_BENCH=OFF -DSCIDOCK_BUILD_EXAMPLES=OFF
+  run_ctest "$dir" -L "$SANITIZER_LABELS"
+}
+
+stage_asan() { stage_sanitizer asan address; }
+stage_ubsan() { stage_sanitizer ubsan undefined; }
+stage_tsan() { stage_sanitizer tsan thread; }
+
+STAGES=("$@")
+if [ "${#STAGES[@]}" -eq 0 ]; then
+  STAGES=(default lockdep asan ubsan tsan)
+fi
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    default | lockdep | asan | ubsan | tsan) ;;
+    *)
+      echo "ci/check.sh: unknown stage '$stage'" >&2
+      echo "stages: default lockdep asan ubsan tsan" >&2
+      exit 2
+      ;;
+  esac
+done
+
+for stage in "${STAGES[@]}"; do
+  echo
+  echo "==== ci/check.sh stage: $stage ===="
+  "stage_$stage"
+done
+
+echo
+echo "ci/check.sh: all stages passed (${STAGES[*]})"

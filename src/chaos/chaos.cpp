@@ -70,7 +70,7 @@ ChaosProfile chaos_profile_heavy() {
 }
 
 struct ChaosEngine::State {
-  Mutex mutex;
+  Mutex mutex{"chaos.state"};
   /// Accesses so far per (op, path); a faulty path fails while this is
   /// below its drawn transient budget, then recovers.
   std::map<std::string, int> transient_used SCIDOCK_GUARDED_BY(mutex);

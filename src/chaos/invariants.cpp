@@ -4,6 +4,7 @@
 #include <map>
 
 #include "obs/obs.hpp"
+#include "util/lockdep.hpp"
 #include "util/strings.hpp"
 
 namespace scidock::chaos {
@@ -392,6 +393,23 @@ bool InvariantChecker::check_replay(const RunSummary& first,
   return fail(strformat(
       "[%s] replay: same-seed digests diverge at byte %zu (line %zu)",
       first.executor.c_str(), pos, line));
+}
+
+bool InvariantChecker::check_lockdep() {
+  if (!lockdep::compiled_in()) return true;
+  if (lockdep::clean()) return true;
+  // One violation per error finding, each carrying the full cycle /
+  // call-site detail the analyzer assembled.
+  bool ok = true;
+  for (const lockdep::Finding& f : lockdep::findings()) {
+    if (!f.is_error) continue;
+    // rule_id returns a view of a string literal, so .data() is
+    // NUL-terminated.
+    ok = fail(strformat("lockdep %s: %s\n%s", lockdep::rule_id(f.kind).data(),
+                        f.message.c_str(), f.details.c_str())) &&
+         ok;
+  }
+  return ok;
 }
 
 std::string InvariantChecker::to_string() const {

@@ -80,6 +80,14 @@ class InvariantChecker {
                      prov::ProvenanceStore& store,
                      const std::string& workflow_tag);
 
+  /// Invariant (e), lock discipline: the runtime lock-order analyzer
+  /// (util/lockdep, DESIGN.md §11) recorded no error-severity hazard —
+  /// no lock-order inversion, pool self-wait or wait-while-holding —
+  /// over everything executed so far in this process. Warnings (e.g. a
+  /// long hold) are reported in the violation text but tolerated.
+  /// Trivially true when the analyzer is compiled out.
+  bool check_lockdep();
+
   bool ok() const { return violations_.empty(); }
   const std::vector<std::string>& violations() const { return violations_; }
   /// All violations joined for test failure messages.

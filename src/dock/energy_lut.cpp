@@ -74,7 +74,7 @@ double Ad4PairTables::pair_energy(mol::AdType ti, double qi, mol::AdType tj,
 
 std::shared_ptr<const Ad4PairTables> Ad4PairTables::shared(
     const Ad4Weights& weights) {
-  static Mutex mutex;
+  static Mutex mutex{"dock.lut.ad4"};
   static std::vector<std::pair<Ad4Weights, std::shared_ptr<const Ad4PairTables>>>
       cache;
   MutexLock lock(mutex);
@@ -107,7 +107,7 @@ VinaPairTables::VinaPairTables(const VinaWeights& weights)
 
 std::shared_ptr<const VinaPairTables> VinaPairTables::shared(
     const VinaWeights& weights) {
-  static Mutex mutex;
+  static Mutex mutex{"dock.lut.vina"};
   static std::vector<std::pair<VinaWeights, std::shared_ptr<const VinaPairTables>>>
       cache;
   MutexLock lock(mutex);

@@ -79,6 +79,9 @@ const std::vector<RuleInfo>& rule_catalog() {
                 "%TAG% placeholder)"},
       {"WF009", "unresolvable template tag (%TAG% names no field of the "
                 "activity's declared input schema)"},
+      {"WF010", "undeclared template tag (%TAG% used where the activity "
+                "declares no input schema, and no activity in the workflow "
+                "declares such a field)"},
       // ---- provenance SQL ----
       {"SQL001", "syntax error (statement does not parse)"},
       {"SQL002", "unknown table (not in the PROV-Wf or workflow-relation "
@@ -92,6 +95,17 @@ const std::vector<RuleInfo>& rule_catalog() {
                  "GROUP BY is in effect)"},
       {"SQL007", "type mismatch (text where a number is required, or "
                  "comparing text with a number)"},
+      {"SQL008", "unknown reconciled metric (a '-- reconciles: <name>' "
+                 "annotation names a counter no scidock_* series "
+                 "registers)"},
+      // ---- runtime lock-discipline findings (util/lockdep bridge) ----
+      {"LD001", "lock-order inversion (a new acquisition edge closes a "
+                "cycle in the global lock-order graph)"},
+      {"LD002", "pool self-wait (a worker thread blocks on work scheduled "
+                "into its own pool)"},
+      {"LD003", "blocking wait while holding a lock (CondVar::wait or an "
+                "annotated wait entered with unrelated locks held)"},
+      {"LD004", "long hold (a lock held past the configured threshold)"},
   };
   return catalog;
 }

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file lockdep_lint.hpp
+/// Bridge from the runtime lock-order analyzer (util/lockdep) into the
+/// scidock-lint diagnostic machinery: each hazard finding becomes a
+/// Diagnostic with a stable LD rule ID (LD001..LD004, see
+/// lint::rule_catalog()), so CI gates, the CLI's --lockdep-report and the
+/// fixture tests all speak the same format as the static rules.
+
+#include "lint/diagnostics.hpp"
+
+namespace scidock::lint {
+
+/// Convert every finding the analyzer has accumulated so far into a
+/// Report (empty when lockdep is compiled out or found nothing). The
+/// multi-line cycle/call-site evidence is appended to each message so a
+/// formatted diagnostic is self-contained.
+Report lockdep_report();
+
+}  // namespace scidock::lint

@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "sql/ast.hpp"
 #include "sql/lexer.hpp"
 #include "sql/parser.hpp"
@@ -622,11 +623,43 @@ class QueryLinter {
   bool permissive_ = false;
 };
 
+/// SQL008: `-- reconciles: <metric>[, <metric>...]` annotations mark a
+/// shipped query as the provenance side of a metrics reconciliation
+/// (DESIGN.md §9); each name must be a series some scidock_* registration
+/// site actually creates (obs::known_metric_names()), otherwise the
+/// reconciliation silently compares against a counter that is always 0.
+/// The SQL lexer strips `--` comments, so annotations never affect
+/// execution. Works on the raw text: by the time the parser runs the
+/// comments are gone.
+void check_reconcile_annotations(std::string_view sql, const std::string& file,
+                                 Report& report) {
+  const std::vector<std::string_view>& known = obs::known_metric_names();
+  int line_no = 0;
+  for (const std::string& raw : split(std::string(sql), '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    constexpr std::string_view kPrefix = "-- reconciles:";
+    if (line.substr(0, kPrefix.size()) != kPrefix) continue;
+    for (const std::string& name : split(
+             std::string(line.substr(kPrefix.size())), ',')) {
+      const std::string_view metric = trim(name);
+      if (metric.empty()) continue;
+      if (std::find(known.begin(), known.end(), metric) == known.end()) {
+        report.add_error(
+            "SQL008", file, line_no,
+            "'-- reconciles:' names metric '" + std::string(metric) +
+                "' but no scidock_* series of that name is registered");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Report lint_query(std::string_view sql, const Catalog& catalog,
                   std::string file) {
   Report report;
+  check_reconcile_annotations(sql, file, report);
   QueryLinter(sql, catalog, std::move(file), report).run();
   return report;
 }

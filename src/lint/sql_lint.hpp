@@ -6,8 +6,9 @@
 /// Finds the failure classes that would otherwise only surface at runtime
 /// (the engine throws on unknown columns, bad arities and text-as-number
 /// coercions) plus the silent ones it tolerates (ungrouped columns
-/// evaluate on an arbitrary row). Rules SQL001..SQL007, see
-/// lint::rule_catalog().
+/// evaluate on an arbitrary row), and validates `-- reconciles:` metric
+/// annotations against the registered scidock_* series. Rules
+/// SQL001..SQL008, see lint::rule_catalog().
 
 #include <string>
 #include <string_view>

@@ -262,8 +262,18 @@ class WorkflowLinter {
   }
 
   /// WF008 (malformed %TAG% syntax) + WF009 (tag resolves to no declared
-  /// input field; only checked when the input declares a schema).
+  /// input field; only checked when the input declares a schema) + WF010
+  /// (input schema undeclared, but the tag names no field declared by
+  /// *any* relation of the workflow — in a workflow that declares fields
+  /// elsewhere, such a tag can never be bound). WF010 stays silent in
+  /// fully schema-less specifications, where nothing can be validated.
   void check_templates() {
+    std::set<std::string> declared_anywhere;
+    for (const LintActivity& act : activities_) {
+      for (const LintRelation& rel : act.relations) {
+        declared_anywhere.insert(rel.fields.begin(), rel.fields.end());
+      }
+    }
     for (const LintActivity& act : activities_) {
       if (act.activation.empty()) continue;
       std::vector<std::string> tags;
@@ -281,7 +291,18 @@ class WorkflowLinter {
           break;
         }
       }
-      if (input == nullptr || input->fields.empty()) continue;
+      if (input == nullptr || input->fields.empty()) {
+        if (declared_anywhere.empty()) continue;
+        for (const std::string& tag : tags) {
+          if (declared_anywhere.count(tag) == 0) {
+            error("WF010", act.line,
+                  "activity '" + act.tag + "': template tag %" + tag +
+                      "% is referenced but no relation in the workflow "
+                      "declares a field of that name");
+          }
+        }
+        continue;
+      }
       for (const std::string& tag : tags) {
         if (std::find(input->fields.begin(), input->fields.end(), tag) ==
             input->fields.end()) {

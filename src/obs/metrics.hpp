@@ -115,7 +115,7 @@ class MetricsRegistry {
 
  private:
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{"obs.metrics.shard"};
     std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
         SCIDOCK_GUARDED_BY(mutex);
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges

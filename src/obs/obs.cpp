@@ -1,6 +1,93 @@
 #include "obs/obs.hpp"
 
+#include <string_view>
+#include <vector>
+
+#include "util/lockdep.hpp"
+
 namespace scidock::obs {
+
+void publish_lockdep_metrics(MetricsRegistry& registry) {
+  if (!lockdep::compiled_in()) return;
+  const lockdep::CounterSnapshot snap = lockdep::counters();
+  registry
+      .gauge(kLockdepLockClasses, "distinct named lock classes registered")
+      .set(static_cast<double>(snap.lock_classes));
+  const auto publish = [&registry](const char* name, const char* help,
+                                   long long value) {
+    Counter& c = registry.counter(name, help);
+    c.inc(value - c.value());  // delta: repeated publishes stay monotone
+  };
+  publish(kLockdepAcquisitions, "instrumented lock acquisitions",
+          snap.acquisitions);
+  publish(kLockdepOrderEdges, "distinct lock-order graph edges",
+          snap.order_edges);
+  publish(kLockdepCondWaits, "CondVar::wait hazard checks", snap.cond_waits);
+  publish(kLockdepPoolWaitChecks, "parallel_for self-wait checks",
+          snap.pool_wait_checks);
+  publish(kLockdepBlockingWaits, "annotated blocking-wait checks",
+          snap.blocking_waits);
+  publish(kLockdepFindingsError, "error-severity hazard findings",
+          snap.findings_error);
+  publish(kLockdepFindingsWarning, "warning-severity hazard findings",
+          snap.findings_warning);
+}
+
+const std::vector<std::string_view>& known_metric_names() {
+  static const std::vector<std::string_view> names = {
+      // cache (src/scidock)
+      kCacheGridmapsHits,
+      kCacheGridmapsInflightWaits,
+      kCacheGridmapsMisses,
+      // cloud simulator (src/cloud)
+      "scidock_cloud_cost_usd",
+      "scidock_cloud_total_cores",
+      "scidock_cloud_vm_utilisation",
+      "scidock_cloud_vms_acquired_total",
+      "scidock_cloud_vms_released_total",
+      // executors
+      kActivationSeconds,
+      kActivationsAborted,
+      kActivationsFailed,
+      kActivationsFinished,
+      kActivationsRetried,
+      kActivationsStarted,
+      kTuplesCompleted,
+      kTuplesLost,
+      // AutoGrid kernel
+      kKernelAutogridMapsets,
+      kKernelAutogridSlabSeconds,
+      kKernelAutogridSlabs,
+      // lockdep analyzer
+      kLockdepAcquisitions,
+      kLockdepBlockingWaits,
+      kLockdepCondWaits,
+      kLockdepFindingsError,
+      kLockdepFindingsWarning,
+      kLockdepLockClasses,
+      kLockdepOrderEdges,
+      kLockdepPoolWaitChecks,
+      // thread pool (instrument_thread_pool)
+      "scidock_pool_queue_depth",
+      "scidock_pool_queue_wait_seconds",
+      "scidock_pool_task_seconds",
+      "scidock_pool_tasks_total",
+      // provenance store (ProvenanceStore::set_metrics)
+      "scidock_prov_activation_rows_total",
+      "scidock_prov_activity_rows_total",
+      "scidock_prov_file_rows_total",
+      "scidock_prov_machine_rows_total",
+      "scidock_prov_queries_total",
+      "scidock_prov_value_rows_total",
+      "scidock_prov_workflow_rows_total",
+      // simulated scheduler
+      "scidock_sched_mean_queue_length",
+      "scidock_sched_overhead_seconds",
+      "scidock_sched_picks_total",
+      "scidock_sched_reexecution_picks_total",
+  };
+  return names;
+}
 
 ExecutorCounters executor_counters(MetricsRegistry* registry) {
   ExecutorCounters c;

@@ -69,6 +69,39 @@ inline constexpr const char* kKernelAutogridSlabs =
 inline constexpr const char* kKernelAutogridSlabSeconds =
     "scidock_kernel_autogrid_slab_seconds";
 
+// ---- lockdep analyzer series (DESIGN.md §11) ----
+// Published from the util/lockdep counter snapshot by
+// publish_lockdep_metrics(); all zero (and absent) when the analyzer is
+// compiled out (SCIDOCK_LOCKDEP=OFF).
+inline constexpr const char* kLockdepLockClasses =
+    "scidock_lockdep_lock_classes";
+inline constexpr const char* kLockdepAcquisitions =
+    "scidock_lockdep_acquisitions_total";
+inline constexpr const char* kLockdepOrderEdges =
+    "scidock_lockdep_order_edges_total";
+inline constexpr const char* kLockdepCondWaits =
+    "scidock_lockdep_cond_waits_total";
+inline constexpr const char* kLockdepPoolWaitChecks =
+    "scidock_lockdep_pool_wait_checks_total";
+inline constexpr const char* kLockdepBlockingWaits =
+    "scidock_lockdep_blocking_waits_total";
+inline constexpr const char* kLockdepFindingsError =
+    "scidock_lockdep_findings_error_total";
+inline constexpr const char* kLockdepFindingsWarning =
+    "scidock_lockdep_findings_warning_total";
+
+/// Mirror the lockdep analyzer's internal counters into `registry` (the
+/// classes series is a gauge, the rest are counters bumped by the delta
+/// since the last publish, so repeated calls stay monotone). No-op when
+/// the analyzer is compiled out.
+void publish_lockdep_metrics(MetricsRegistry& registry);
+
+/// Every canonical scidock_* series name the codebase registers, sorted.
+/// The lint SQL008 rule validates `-- reconciles: <metric>` annotations in
+/// shipped queries against this list, so keep it in sync when adding a
+/// series (the obs test cross-checks registration sites).
+const std::vector<std::string_view>& known_metric_names();
+
 /// Pre-resolved executor counter handles: both executors increment the
 /// same series; resolving once keeps the hot path at one atomic add.
 struct ExecutorCounters {

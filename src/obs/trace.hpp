@@ -128,7 +128,7 @@ class TraceRecorder {
 
   static constexpr std::size_t kShards = 16;
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{"obs.trace.shard"};
     std::vector<TraceEvent> events SCIDOCK_GUARDED_BY(mutex);
   };
 

@@ -121,7 +121,7 @@ class ProvenanceStore {
     obs::Counter* queries = nullptr;
   };
 
-  Mutex mutex_;
+  Mutex mutex_{"prov.store"};
   sql::Database db_ SCIDOCK_GUARDED_BY(mutex_);
   RateCounters rates_ SCIDOCK_GUARDED_BY(mutex_);
   long long next_wkfid_ SCIDOCK_GUARDED_BY(mutex_) = 1;

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "prov/prov.hpp"
+#include "scidock/scidock.hpp"
 #include "util/strings.hpp"
 
 namespace scidock::core {
@@ -181,6 +182,8 @@ std::vector<ShippedQuery> shipped_queries() {
        "prov"},
       {"reconcile-retried-activations",
        prov::retried_activation_count_sql(1), "prov"},
+      {"reconcile-finished-autogrid",
+       prov::finished_activation_count_sql(1, kAutogrid), "prov"},
   };
 }
 

@@ -73,6 +73,9 @@ ArtifactCache::get_or_compute_maps(
   std::shared_future<MapsPtr> future;
   std::shared_ptr<std::promise<MapsPtr>> owner;
   CacheOutcome outcome = CacheOutcome::kMiss;
+#if SCIDOCK_LOCKDEP_ENABLED
+  const void* flight_owner_pool = nullptr;
+#endif
   {
     MutexLock lock(mutex_);
     const auto it = map_flights_.find(key);
@@ -82,10 +85,18 @@ ArtifactCache::get_or_compute_maps(
                         std::future_status::ready
                     ? CacheOutcome::kHit
                     : CacheOutcome::kInflightWait;
+#if SCIDOCK_LOCKDEP_ENABLED
+      flight_owner_pool = it->second.owner_pool;
+#endif
     } else {
       owner = std::make_shared<std::promise<MapsPtr>>();
       MapFlight flight{owner, owner->get_future().share()};
       future = flight.future;
+#if SCIDOCK_LOCKDEP_ENABLED
+      // Remember which pool (if any) the owner is a worker of, so a
+      // concurrent waiter from the same pool can be flagged (LD002).
+      flight.owner_pool = lockdep::current_pool();
+#endif
       map_flights_.emplace(key, std::move(flight));
     }
   }
@@ -101,6 +112,13 @@ ArtifactCache::get_or_compute_maps(
       throw;
     }
   }
+#if SCIDOCK_LOCKDEP_ENABLED
+  if (!owner && outcome == CacheOutcome::kInflightWait) {
+    lockdep::on_blocking_wait("scidock.gridmaps.single_flight",
+                              flight_owner_pool,
+                              std::source_location::current());
+  }
+#endif
   return {future.get(), outcome};  // blocks inflight waiters; rethrows
 }
 

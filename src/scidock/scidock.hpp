@@ -102,9 +102,15 @@ class ArtifactCache {
   struct MapFlight {
     std::shared_ptr<std::promise<MapsPtr>> promise;
     std::shared_future<MapsPtr> future;
+#if SCIDOCK_LOCKDEP_ENABLED
+    /// ThreadPool the flight owner was a worker of (nullptr when the
+    /// owner ran outside any pool); lets lockdep flag waiters that block
+    /// on a flight owned by their own pool (DESIGN.md §11).
+    const void* owner_pool = nullptr;
+#endif
   };
 
-  Mutex mutex_;
+  Mutex mutex_{"scidock.cache"};
   std::unordered_map<std::string, std::shared_ptr<const mol::PreparedLigand>>
       ligands_ SCIDOCK_GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::shared_ptr<const mol::PreparedReceptor>>

@@ -25,6 +25,7 @@
 
 #include "chaos/invariants.hpp"
 #include "data/table2.hpp"
+#include "lint/lockdep_lint.hpp"
 #include "dock/autodock4.hpp"
 #include "dock/dlg.hpp"
 #include "dock/vina.hpp"
@@ -32,6 +33,7 @@
 #include "obs/obs.hpp"
 #include "scidock/analysis.hpp"
 #include "scidock/experiment.hpp"
+#include "util/lockdep.hpp"
 #include "util/strings.hpp"
 #include "wf/relational.hpp"
 #include "wf/spec.hpp"
@@ -51,7 +53,10 @@ int usage() {
                "  prov-export [--pairs N]\n"
                "screen/sweep also take:\n"
                "  --trace-out FILE    Chrome chrome://tracing JSON\n"
-               "  --metrics-out FILE  Prometheus text metrics\n");
+               "  --metrics-out FILE  Prometheus text metrics\n"
+               "  --lockdep-report    print the lock-discipline report after\n"
+               "                      the run (needs -DSCIDOCK_LOCKDEP=ON;\n"
+               "                      exit 1 on any error-severity hazard)\n");
   return 2;
 }
 
@@ -62,6 +67,29 @@ std::string flag(const std::vector<std::string>& args, const std::string& name,
     if (args[i] == "--" + name) return args[i + 1];
   }
   return fallback;
+}
+
+/// Presence of a valueless `--name` switch.
+bool has_switch(const std::vector<std::string>& args, const std::string& name) {
+  for (const std::string& a : args) {
+    if (a == "--" + name) return true;
+  }
+  return false;
+}
+
+/// Print the lockdep report when --lockdep-report was passed; mirrors the
+/// analyzer counters into the metrics sink (if any) first so the
+/// scidock_lockdep_* series land in --metrics-out. Returns non-zero when
+/// the analyzer found an error-severity hazard — hazards fail the
+/// command just like a broken trace self-check does.
+int maybe_lockdep_report(const std::vector<std::string>& args,
+                         obs::MetricsRegistry* metrics) {
+  if (!has_switch(args, "lockdep-report")) return 0;
+  if (metrics != nullptr) obs::publish_lockdep_metrics(*metrics);
+  std::printf("%s", lockdep::format_report().c_str());
+  const lint::Report report = lint::lockdep_report();
+  if (!report.clean()) std::printf("%s", report.format().c_str());
+  return report.error_count() > 0 ? 1 : 0;
 }
 
 /// Observability sinks requested on the command line. Null members mean
@@ -193,6 +221,9 @@ int cmd_screen(const std::vector<std::string>& args) {
     std::printf("metrics reconcile with provenance (%lld activations)\n",
                 sinks.metrics->counter_value(obs::kActivationsStarted));
   }
+  if (const int rc = maybe_lockdep_report(args, sinks.metrics.get()); rc != 0) {
+    return rc;
+  }
   if (const int rc = flush_obs(sinks); rc != 0) return rc;
 
   // Summarise with an SRQuery over the output relation.
@@ -238,6 +269,9 @@ int cmd_sweep(const std::vector<std::string>& args) {
     std::printf("%6d %14s %9.0f$\n", cores,
                 human_duration(r.total_execution_time_s).c_str(),
                 r.cloud_cost_usd);
+  }
+  if (const int rc = maybe_lockdep_report(args, sinks.metrics.get()); rc != 0) {
+    return rc;
   }
   return flush_obs(sinks);
 }

@@ -1,9 +1,11 @@
 // scidock-lint — static analyzer for SciCumulus workflow specifications
 // and provenance SQL. Validates without executing: the workflow algebra
-// checker (rules WF001..WF009) walks the XML spec's dataflow, the SQL
-// semantic checker (SQL001..SQL007) resolves queries against the PROV-Wf
-// or relation catalog. Exit codes: 0 = clean, 1 = diagnostics found,
-// 2 = usage / I/O error.
+// checker (rules WF001..WF010) walks the XML spec's dataflow, the SQL
+// semantic checker (SQL001..SQL008) resolves queries against the PROV-Wf
+// or relation catalog and validates `-- reconciles:` metric annotations.
+// The LD rules in the catalog are emitted by the *runtime* lockdep
+// analyzer (scidock_cli --lockdep-report), not by this tool. Exit codes:
+// 0 = clean, 1 = diagnostics found, 2 = usage / I/O error.
 //
 //   scidock-lint workflow <spec.xml> [more.xml ...]
 //   scidock-lint workflow --builtin       # the builtin SciDock workflow

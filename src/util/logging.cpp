@@ -9,7 +9,7 @@ namespace scidock {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
-Mutex g_sink_mutex;  ///< serialises whole lines onto stderr
+Mutex g_sink_mutex{"log.sink"};  ///< serialises whole lines onto stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {

@@ -12,10 +12,20 @@
 /// the capability attributes) every macro expands to nothing and Mutex /
 /// MutexLock behave exactly like std::mutex / std::lock_guard.
 ///
+/// With the SCIDOCK_LOCKDEP CMake option ON the same primitives also
+/// feed the runtime lock-order analyzer (util/lockdep.hpp): construct a
+/// Mutex with a name — `Mutex mutex_{"prov.store"}` — to give it a lock
+/// class; acquisitions then record order edges with the call site
+/// (std::source_location) and inversions/hazards are reported with full
+/// cycles. With the option OFF (default) the name is discarded and the
+/// primitives compile down to exactly the std equivalents.
+///
 /// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
 
 #include <condition_variable>
 #include <mutex>
+
+#include "util/lockdep.hpp"
 
 #if defined(__clang__)
 #define SCIDOCK_THREAD_ANNOTATION(x) __attribute__((x))
@@ -57,26 +67,68 @@ namespace scidock {
 
 /// std::mutex wrapper the analysis understands. Lock it through MutexLock
 /// (or CondVar::wait) so acquire/release pairing is compiler-checked.
+/// Name it at construction so lockdep reports read `prov.store`, not
+/// `mutex@0x7f...`; same name = same lock class (ordering is validated
+/// per class, as in kernel lockdep).
 class SCIDOCK_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex([[maybe_unused]] const char* name)
+#if SCIDOCK_LOCKDEP_ENABLED
+      : class_id_(lockdep::register_class(name))
+#endif
+  {
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if SCIDOCK_LOCKDEP_ENABLED
+  void lock(std::source_location site = std::source_location::current())
+      SCIDOCK_ACQUIRE() {
+    lockdep::on_acquire(class_id_, this, site);  // before: edge + cycle check
+    m_.lock();
+  }
+  void unlock() SCIDOCK_RELEASE() {
+    lockdep::on_release(this);
+    m_.unlock();
+  }
+  bool try_lock(std::source_location site = std::source_location::current())
+      SCIDOCK_TRY_ACQUIRE(true) {
+    const bool acquired = m_.try_lock();
+    if (acquired) lockdep::on_try_acquired(class_id_, this, site);
+    return acquired;
+  }
+  int lockdep_class_id() const { return class_id_; }
+#else
   void lock() SCIDOCK_ACQUIRE() { m_.lock(); }
   void unlock() SCIDOCK_RELEASE() { m_.unlock(); }
   bool try_lock() SCIDOCK_TRY_ACQUIRE(true) { return m_.try_lock(); }
+#endif
 
  private:
   std::mutex m_;
+#if SCIDOCK_LOCKDEP_ENABLED
+  int class_id_ = lockdep::kAnonymousClass;
+#endif
 };
 
 /// RAII lock for Mutex — the annotated counterpart of std::lock_guard.
 class SCIDOCK_SCOPED_CAPABILITY MutexLock {
  public:
+#if SCIDOCK_LOCKDEP_ENABLED
+  /// The defaulted source_location captures the MutexLock statement
+  /// itself — that is the site lockdep prints in cycle reports.
+  explicit MutexLock(Mutex& mutex,
+                     std::source_location site = std::source_location::current())
+      SCIDOCK_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock(site);
+  }
+#else
   explicit MutexLock(Mutex& mutex) SCIDOCK_ACQUIRE(mutex) : mutex_(mutex) {
     mutex_.lock();
   }
+#endif
   ~MutexLock() SCIDOCK_RELEASE() { mutex_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -95,7 +147,19 @@ class SCIDOCK_SCOPED_CAPABILITY MutexLock {
 class CondVar {
  public:
   /// Atomically release `mutex`, sleep, and re-acquire before returning.
+  /// Under lockdep, entering a wait while holding any *other* tracked
+  /// lock is reported (LD003); the release/re-acquire bookkeeping flows
+  /// through the instrumented unlock()/lock() the wait performs.
+#if SCIDOCK_LOCKDEP_ENABLED
+  void wait(Mutex& mutex,
+            std::source_location site = std::source_location::current())
+      SCIDOCK_REQUIRES(mutex) {
+    lockdep::on_cond_wait(&mutex, site);
+    cv_.wait(mutex);
+  }
+#else
   void wait(Mutex& mutex) SCIDOCK_REQUIRES(mutex) { cv_.wait(mutex); }
+#endif
 
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }

@@ -34,6 +34,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  // Lockdep: tasks run below can tell they execute inside this pool, so
+  // blocking on work queued into it (nested parallel_for, single-flight
+  // waits) is reportable as a self-wait hazard.
+  lockdep::PoolWorkerScope worker_scope(this);
   for (;;) {
     std::function<void()> task;
     {
@@ -47,9 +51,16 @@ void ThreadPool::worker_loop() {
   }
 }
 
+#if SCIDOCK_LOCKDEP_ENABLED
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain, std::source_location site) {
+  if (n > 0) lockdep::on_pool_wait(this, site);
+#else
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
+#endif
   grain = std::max<std::size_t>(grain, 1);
   std::vector<std::future<void>> futures;
   futures.reserve((n + grain - 1) / grain);

@@ -94,8 +94,19 @@ class ThreadPool {
   /// dispatch + hook invocation per index; task and stats hooks then fire
   /// once per chunk. A chunk stops at the first throwing iteration, and
   /// exceptions from any chunk are rethrown (first submitted wins).
+  ///
+  /// Calling this from a worker of the *same* pool queues the chunks
+  /// behind the calling task and then blocks on them — a deadlock once
+  /// every worker does it. Lockdep reports exactly that as LD002
+  /// (pool self-wait) with the caller's site.
+#if SCIDOCK_LOCKDEP_ENABLED
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1,
+                    std::source_location site = std::source_location::current());
+#else
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
+#endif
 
  private:
   /// Fires `finished` (if set) when the task body leaves scope — normal
@@ -115,7 +126,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;  ///< written only in the constructor
-  Mutex mutex_;
+  Mutex mutex_{"pool.queue"};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ SCIDOCK_GUARDED_BY(mutex_);
   TaskHook task_hook_ SCIDOCK_GUARDED_BY(mutex_);

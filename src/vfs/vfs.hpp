@@ -97,7 +97,7 @@ class SharedFileSystem {
   FaultHook fault_hook_snapshot() const;
 
   LatencyModel latency_;  ///< immutable after construction
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"vfs.fs"};
   FaultHook fault_hook_ SCIDOCK_GUARDED_BY(mutex_);
   /// Sorted by path for cheap prefix listing.
   std::vector<Entry> entries_ SCIDOCK_GUARDED_BY(mutex_);

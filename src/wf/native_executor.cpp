@@ -1,9 +1,9 @@
 #include "wf/native_executor.hpp"
 
 #include <chrono>
-#include <mutex>
 
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,7 +56,7 @@ NativeReport NativeExecutor::run(const Relation& input,
   }
 
   NativeReport report;
-  std::mutex report_mutex;
+  Mutex report_mutex{"wf.native.report"};
   std::vector<std::vector<Tuple>> final_tuples(input.size());
 
   Rng root_rng(options_.seed);
@@ -116,7 +116,7 @@ NativeReport NativeExecutor::run(const Relation& input,
                                    prov::kStatusAborted, 1, attempt);
               last_error = "injected hang at " + st.tag + " (watchdog abort)";
               {
-                std::lock_guard lock(report_mutex);
+                MutexLock lock(report_mutex);
                 ++report.activations_hung;
               }
               if (counters.aborted != nullptr) counters.aborted->inc();
@@ -129,7 +129,7 @@ NativeReport NativeExecutor::run(const Relation& input,
                                    prov::kStatusFailed, 1, attempt);
               last_error = "injected failure at " + st.tag;
               {
-                std::lock_guard lock(report_mutex);
+                MutexLock lock(report_mutex);
                 ++report.activations_failed;
               }
               if (counters.failed != nullptr) counters.failed->inc();
@@ -144,7 +144,7 @@ NativeReport NativeExecutor::run(const Relation& input,
                                  prov::kStatusFinished, 0, attempt);
             const double elapsed = wall_now() - t0 - start;
             {
-              std::lock_guard lock(report_mutex);
+              MutexLock lock(report_mutex);
               ++report.activations_finished;
               report.per_activity_seconds[st.tag].add(elapsed);
             }
@@ -161,7 +161,7 @@ NativeReport NativeExecutor::run(const Relation& input,
                                  prov::kStatusFailed, 1, attempt);
             last_error = e.what();
             {
-              std::lock_guard lock(report_mutex);
+              MutexLock lock(report_mutex);
               ++report.activations_failed;
             }
             if (counters.failed != nullptr) counters.failed->inc();
@@ -171,7 +171,7 @@ NativeReport NativeExecutor::run(const Relation& input,
         }
         if (!done) {
           if (counters.tuples_lost != nullptr) counters.tuples_lost->inc();
-          std::lock_guard lock(report_mutex);
+          MutexLock lock(report_mutex);
           ++report.tuples_lost;
           report.failure_messages.push_back(last_error);
           SCIDOCK_LOG_WARN("tuple %zu lost at stage %s: %s", tuple_idx,

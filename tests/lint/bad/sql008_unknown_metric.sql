@@ -1,0 +1,2 @@
+-- reconciles: scidock_executor_activations_stated_total
+SELECT count(*) FROM hactivation WHERE wkfid = 1

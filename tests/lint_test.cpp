@@ -1,7 +1,9 @@
 // Tests for the scidock-lint static analyzer: the workflow algebra
-// checker (WF001..WF009), the SQL semantic checker (SQL001..SQL007), the
+// checker (WF001..WF010), the SQL semantic checker (SQL001..SQL008), the
 // fixture corpus under tests/lint/, and the drift guard that keeps the
-// lint catalog aligned with the live provenance schema.
+// lint catalog aligned with the live provenance schema. The runtime LD
+// rules share the catalog but are exercised by the lockdep suite
+// (tests/lockdep_test.cpp) — they have no file fixtures by design.
 
 #include <gtest/gtest.h>
 
@@ -78,7 +80,7 @@ TEST(LintFixtures, GoodQueriesAreClean) {
 
 TEST(LintFixtures, EveryWorkflowRuleHasATriggeringFixture) {
   for (const char* rule : {"WF001", "WF002", "WF003", "WF004", "WF005",
-                           "WF006", "WF007", "WF008", "WF009"}) {
+                           "WF006", "WF007", "WF008", "WF009", "WF010"}) {
     std::string lower(rule);
     for (char& c : lower) c = static_cast<char>(std::tolower(c));
     std::string name;
@@ -87,7 +89,7 @@ TEST(LintFixtures, EveryWorkflowRuleHasATriggeringFixture) {
           "bad/wf003_operator_arity.xml", "bad/wf004_duplicate_tag.xml",
           "bad/wf005_schema_mismatch.xml", "bad/wf006_cycle.xml",
           "bad/wf007_dangling_input.xml", "bad/wf008_bad_template.xml",
-          "bad/wf009_dangling_tag.xml"}) {
+          "bad/wf009_dangling_tag.xml", "bad/wf010_undeclared_tag.xml"}) {
       if (std::string(candidate).find(lower) != std::string::npos) {
         name = candidate;
       }
@@ -109,6 +111,7 @@ TEST(LintFixtures, EverySqlRuleHasATriggeringFixture) {
       {"SQL005", "bad/sql005_aggregate_misuse.sql"},
       {"SQL006", "bad/sql006_ungrouped_column.sql"},
       {"SQL007", "bad/sql007_type_mismatch.sql"},
+      {"SQL008", "bad/sql008_unknown_metric.sql"},
   };
   for (const auto& c : cases) {
     expect_only_rule(lint_query(read_fixture(c.name), prov_wf_catalog(),
@@ -121,9 +124,10 @@ TEST(LintFixtures, CatalogCoversEveryFixtureRule) {
   // Every rule in the catalog is exercised above; conversely every rule ID
   // used by the fixtures exists in the catalog.
   const std::vector<RuleInfo>& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 16u);
+  EXPECT_EQ(catalog.size(), 22u);
   for (const RuleInfo& rule : catalog) {
-    EXPECT_TRUE(rule.id.rfind("WF", 0) == 0 || rule.id.rfind("SQL", 0) == 0)
+    EXPECT_TRUE(rule.id.rfind("WF", 0) == 0 || rule.id.rfind("SQL", 0) == 0 ||
+                rule.id.rfind("LD", 0) == 0)
         << rule.id;
     EXPECT_FALSE(rule.summary.empty()) << rule.id;
   }
@@ -215,6 +219,57 @@ TEST(WorkflowLint, SplitMapMayFanOut) {
   const Report report = lint_workflow_xml(read_fixture(
       "good/workflow_splitmap.xml"));
   EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(WorkflowLint, SchemalessWorkflowSkipsWF010) {
+  // No relation anywhere declares fields: nothing can be validated, so an
+  // unresolvable-looking tag must not fire (the Figure 2 style of spec).
+  const Report report = lint_workflow_xml(
+      "<SciCumulus><SciCumulusWorkflow tag=\"w\">"
+      "<SciCumulusActivity tag=\"a\" type=\"MAP\" "
+      "activation=\"./a.cmd %pair%\">"
+      "<Relation reltype=\"Input\" name=\"in\" filename=\"f.txt\"/>"
+      "<Relation reltype=\"Output\" name=\"out\"/>"
+      "</SciCumulusActivity></SciCumulusWorkflow></SciCumulus>");
+  EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(WorkflowLint, TagDeclaredElsewhereSkipsWF010) {
+  // stage_b's input is schema-less but 'pair' is declared by stage_a's
+  // relations, so the tag is plausibly bound downstream: no finding.
+  const Report report = lint_workflow_xml(
+      "<SciCumulus><SciCumulusWorkflow tag=\"w\">"
+      "<SciCumulusActivity tag=\"a\" type=\"MAP\" "
+      "activation=\"./a.cmd %pair%\">"
+      "<Relation reltype=\"Input\" name=\"in\" filename=\"f.txt\" "
+      "fields=\"pair\"/>"
+      "<Relation reltype=\"Output\" name=\"mid\" fields=\"pair\"/>"
+      "</SciCumulusActivity>"
+      "<SciCumulusActivity tag=\"b\" type=\"MAP\" "
+      "activation=\"./b.cmd %pair%\">"
+      "<Relation reltype=\"Input\" name=\"mid\"/>"
+      "<Relation reltype=\"Output\" name=\"out\"/>"
+      "</SciCumulusActivity></SciCumulusWorkflow></SciCumulus>");
+  EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(SqlLint, ReconcileAnnotationWithKnownMetricIsClean) {
+  const Report report = lint_query(
+      "-- reconciles: scidock_executor_activations_started_total\n"
+      "SELECT count(*) FROM hactivation",
+      prov_wf_catalog());
+  EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(SqlLint, ReconcileAnnotationListValidatesEveryName) {
+  const Report report = lint_query(
+      "-- reconciles: scidock_cache_gridmaps_hits_total, nosuch_metric,\n"
+      "-- reconciles: another_bad_one\n"
+      "SELECT count(*) FROM hactivation",
+      prov_wf_catalog());
+  EXPECT_EQ(report.count("SQL008"), 2u) << report.format();
+  EXPECT_NE(report.diagnostics()[0].message.find("nosuch_metric"),
+            std::string::npos);
 }
 
 TEST(SqlLint, UnknownTableSuppressesColumnCascade) {
