@@ -6,13 +6,14 @@
 #   lockdep   SCIDOCK_LOCKDEP=ON: full suite (the analyzer rides along
 #             under every test), the lockdep negative controls, and the
 #             bench_lockdep overhead gate at the real 10x42 workload
-#   asan      address sanitizer  + lockdep, chaos/kernels/lockdep labels
-#   ubsan     undefined sanitizer + lockdep, chaos/kernels/lockdep labels
-#   tsan      thread sanitizer   + lockdep, chaos/kernels/lockdep labels
+#   asan      address sanitizer  + lockdep, concurrency-heavy labels
+#   ubsan     undefined sanitizer + lockdep, concurrency-heavy labels
+#   tsan      thread sanitizer   + lockdep, concurrency-heavy labels
 #
-# The sanitizer stages run the concurrency-heavy labels only: those are
-# the suites that stress the executors, the docking kernels and the lock
-# discipline, where sanitizers earn their ~10x slowdown.
+# The sanitizer stages run the concurrency-heavy labels only
+# (chaos/kernels/lockdep/prov-recovery): those are the suites that stress
+# the executors, the docking kernels, the lock discipline and the WAL
+# group-commit/recovery path, where sanitizers earn their ~10x slowdown.
 #
 # Usage: ci/check.sh [stage ...]     (default: all stages, in order)
 #   e.g. ci/check.sh lockdep tsan
@@ -21,7 +22,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
-SANITIZER_LABELS='chaos|kernels|lockdep'
+SANITIZER_LABELS='chaos|kernels|lockdep|prov-recovery'
 
 run_ctest() { # dir, extra ctest args...
   local dir="$1"
@@ -40,6 +41,9 @@ stage_default() {
   local dir="$REPO_ROOT/build-ci-default"
   configure_and_build "$dir"
   run_ctest "$dir" -LE bench-smoke
+  # Acceptance gate: the crash-recovery matrix runs (and is reported) as
+  # its own leg, so a recovery regression is unmissable in the CI log.
+  run_ctest "$dir" -L prov-recovery
 }
 
 stage_lockdep() {

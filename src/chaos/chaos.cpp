@@ -75,11 +75,13 @@ struct ChaosEngine::State {
   /// below its drawn transient budget, then recovers.
   std::map<std::string, int> transient_used SCIDOCK_GUARDED_BY(mutex);
   std::atomic<long long> vfs_faults{0};
+  std::atomic<long long> torn_writes{0};
   std::atomic<long long> pool_delays{0};
   std::atomic<long long> pool_exceptions{0};
   std::atomic<long long> activity_faults{0};
   std::atomic<std::uint64_t> pool_ticket{0};
   std::atomic<std::uint64_t> latency_ticket{0};
+  std::atomic<std::uint64_t> torn_ticket{0};
 };
 
 ChaosEngine::ChaosEngine(ChaosProfile profile, std::uint64_t seed)
@@ -135,6 +137,28 @@ vfs::SharedFileSystem::FaultHook ChaosEngine::vfs_hook() const {
     throw ActivityError("chaos: injected transient " +
                         std::string(is_read ? "read" : "write") +
                         " fault on " + path);
+  };
+}
+
+vfs::SharedFileSystem::TornWriteHook ChaosEngine::torn_write_hook() const {
+  const VfsFaultProfile vfs = profile_.vfs;
+  const std::uint64_t seed = seed_;
+  std::shared_ptr<State> state = state_;
+  if (vfs.torn_write_probability <= 0.0) return nullptr;
+  return [vfs, seed, state](
+             vfs::FileOp, const std::string& path,
+             std::size_t bytes) -> std::optional<std::size_t> {
+    if (bytes == 0) return std::nullopt;
+    if (!vfs.path_substring.empty() &&
+        path.find(vfs.path_substring) == std::string::npos) {
+      return std::nullopt;
+    }
+    const std::uint64_t n = state->torn_ticket.fetch_add(1);
+    const std::uint64_t h = mix(mix(seed, fnv1a64("vfs-torn")), n);
+    if (unit(h) >= vfs.torn_write_probability) return std::nullopt;
+    state->torn_writes.fetch_add(1);
+    // Cut anywhere in [0, bytes): always strictly short of the end.
+    return static_cast<std::size_t>((h >> 17) % bytes);
   };
 }
 
@@ -207,6 +231,9 @@ cloud::FailureModelOptions ChaosEngine::failure_options(
 long long ChaosEngine::vfs_faults_injected() const {
   return state_->vfs_faults.load();
 }
+long long ChaosEngine::torn_writes_injected() const {
+  return state_->torn_writes.load();
+}
 long long ChaosEngine::pool_delays_injected() const {
   return state_->pool_delays.load();
 }
@@ -215,6 +242,57 @@ long long ChaosEngine::pool_exceptions_injected() const {
 }
 long long ChaosEngine::activity_faults_injected() const {
   return state_->activity_faults.load();
+}
+
+struct KillSwitch::State {
+  std::atomic<int> seen{0};
+  std::atomic<bool> fired{false};
+};
+
+KillSwitch::KillSwitch(KillPoint point)
+    : point_(point), state_(std::make_shared<State>()) {}
+
+bool KillSwitch::fired() const { return state_->fired.load(); }
+
+vfs::SharedFileSystem::TornWriteHook KillSwitch::torn_write_hook() const {
+  if (point_.phase != KillPhase::Append) return nullptr;
+  const KillPoint point = point_;
+  std::shared_ptr<State> state = state_;
+  return [point, state](vfs::FileOp op, const std::string& path,
+                        std::size_t bytes) -> std::optional<std::size_t> {
+    if (op != vfs::FileOp::Append || bytes == 0 ||
+        path.find(".wal") == std::string::npos) {
+      return std::nullopt;
+    }
+    if (state->fired.load(std::memory_order_relaxed)) return std::nullopt;
+    if (state->seen.fetch_add(1) != point.ordinal) return std::nullopt;
+    state->fired.store(true);
+    // Clamp below the batch size so the tear is real (never a full write).
+    return std::min(point.keep_bytes, bytes - 1);
+  };
+}
+
+vfs::SharedFileSystem::FaultHook KillSwitch::fault_hook() const {
+  if (point_.phase != KillPhase::GroupCommit &&
+      point_.phase != KillPhase::Rotate) {
+    return nullptr;
+  }
+  const KillPoint point = point_;
+  std::shared_ptr<State> state = state_;
+  const vfs::FileOp target = point_.phase == KillPhase::GroupCommit
+                                 ? vfs::FileOp::Append
+                                 : vfs::FileOp::Rename;
+  return [point, state, target](vfs::FileOp op, const std::string& path) {
+    if (op != target || path.find(".wal") == std::string::npos) return;
+    if (state->fired.load(std::memory_order_relaxed)) return;
+    if (state->seen.fetch_add(1) != point.ordinal) return;
+    state->fired.store(true);
+    throw ChaosInjectedError(
+        "chaos: kill point fired on " + path + " (" +
+        (target == vfs::FileOp::Append ? "group-commit append"
+                                       : "segment-seal rename") +
+        " #" + std::to_string(point.ordinal) + ")");
+  };
 }
 
 }  // namespace scidock::chaos

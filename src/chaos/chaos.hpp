@@ -43,6 +43,12 @@ struct VfsFaultProfile {
   /// tests target activity I/O while sparing the executor's own staging
   /// of input_1.txt/output_1.txt, which has no retry loop around it.
   std::string path_substring;
+  /// Byte-granular torn writes: with this probability a write/append is
+  /// cut at a random byte short of its end and fails with TornWriteError
+  /// — a partial record *smaller than one WAL frame*, which the throwing
+  /// fault hook above cannot express (it is all-or-nothing). The WAL
+  /// replay must truncate at the last intact frame.
+  double torn_write_probability = 0.0;
 };
 
 /// Thread-pool scheduling chaos: random pre-task delays and task-level
@@ -93,6 +99,12 @@ class ChaosEngine {
   /// on an injected fault so a retrying activation recovers normally.
   vfs::SharedFileSystem::FaultHook vfs_hook() const;
 
+  /// Hook for vfs::SharedFileSystem::set_torn_write_hook: cuts eligible
+  /// writes at a seed-deterministic byte offset (see
+  /// VfsFaultProfile::torn_write_probability). Returns nullptr when the
+  /// profile never tears.
+  vfs::SharedFileSystem::TornWriteHook torn_write_hook() const;
+
   /// Hook for ThreadPool::set_task_hook (delays sleep; exceptions throw
   /// ChaosInjectedError through the task's future).
   ThreadPool::TaskHook pool_hook() const;
@@ -108,6 +120,7 @@ class ChaosEngine {
 
   // ---- did chaos actually fire? (assertable by tests) ----
   long long vfs_faults_injected() const;
+  long long torn_writes_injected() const;
   long long pool_delays_injected() const;
   long long pool_exceptions_injected() const;
   long long activity_faults_injected() const;
@@ -116,6 +129,46 @@ class ChaosEngine {
   struct State;
   ChaosProfile profile_;
   std::uint64_t seed_ = 0;
+  std::shared_ptr<State> state_;
+};
+
+/// Which step of the provenance WAL commit protocol (DESIGN.md §12) a
+/// KillSwitch crashes.
+enum class KillPhase {
+  Append,       ///< tear the ordinal-th WAL append after keep_bytes bytes
+  GroupCommit,  ///< hard-fail the ordinal-th WAL append (whole batch lost)
+  Rotate,       ///< hard-fail the ordinal-th segment-seal rename
+};
+
+struct KillPoint {
+  KillPhase phase = KillPhase::Append;
+  int ordinal = 0;             ///< which matching WAL operation fires (0-based)
+  std::size_t keep_bytes = 0;  ///< Append phase: bytes that land before the tear
+};
+
+/// One-shot crash injector for the provenance WAL: install its hooks on
+/// the store's VFS and the `ordinal`-th matching operation fails exactly
+/// the way a process death at that point would look on disk. Only WAL
+/// files (paths containing ".wal") are eligible, so workflow I/O through
+/// the same VFS is untouched. Copyable; hooks share state and outlive the
+/// switch (same lifetime contract as ChaosEngine's hooks).
+class KillSwitch {
+ public:
+  explicit KillSwitch(KillPoint point);
+
+  /// Install with vfs::SharedFileSystem::set_torn_write_hook. Fires only
+  /// in the Append phase.
+  vfs::SharedFileSystem::TornWriteHook torn_write_hook() const;
+  /// Install with vfs::SharedFileSystem::set_fault_hook. Fires in the
+  /// GroupCommit (append) and Rotate (rename) phases, throwing
+  /// ChaosInjectedError before anything is applied.
+  vfs::SharedFileSystem::FaultHook fault_hook() const;
+
+  bool fired() const;
+
+ private:
+  struct State;
+  KillPoint point_;
   std::shared_ptr<State> state_;
 };
 

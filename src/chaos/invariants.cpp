@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "obs/obs.hpp"
 #include "util/lockdep.hpp"
@@ -393,6 +394,108 @@ bool InvariantChecker::check_replay(const RunSummary& first,
   return fail(strformat(
       "[%s] replay: same-seed digests diverge at byte %zu (line %zu)",
       first.executor.c_str(), pos, line));
+}
+
+bool InvariantChecker::check_recovery(prov::ProvenanceStore& store) {
+  bool ok = true;
+  const prov::RecoveryReport& rec = store.last_recovery();
+  if (rec.orphan_rows != 0) {
+    ok = fail(strformat(
+        "recovery: replay pruned %zu orphan fact row(s) — the commit "
+        "protocol let a fact outlive its dimensions",
+        rec.orphan_rows));
+  }
+  store.with_database([&](sql::Database& db) {
+    std::set<long long> wkfids;
+    for (const sql::Row& row : db.table("hworkflow").rows()) {
+      if (!wkfids.insert(row[0].as_int()).second) {
+        ok = fail(strformat("recovery: duplicate wkfid %lld",
+                            static_cast<long long>(row[0].as_int())));
+      }
+    }
+    std::set<long long> actids;
+    for (const sql::Row& row : db.table("hactivity").rows()) {
+      if (!actids.insert(row[0].as_int()).second) {
+        ok = fail(strformat("recovery: duplicate actid %lld",
+                            static_cast<long long>(row[0].as_int())));
+      }
+      if (!wkfids.contains(row[1].as_int())) {
+        ok = fail(strformat("recovery: hactivity %lld references missing "
+                            "workflow %lld",
+                            static_cast<long long>(row[0].as_int()),
+                            static_cast<long long>(row[1].as_int())));
+      }
+    }
+    const sql::Table& hactivation = db.table("hactivation");
+    std::set<long long> taskids;
+    for (const sql::Row& row : hactivation.rows()) {
+      const long long taskid = row[0].as_int();
+      if (!taskids.insert(taskid).second) {
+        ok = fail(strformat("recovery: duplicate taskid %lld", taskid));
+      }
+      if (!actids.contains(row[1].as_int()) ||
+          !wkfids.contains(row[2].as_int())) {
+        ok = fail(strformat(
+            "recovery: activation %lld references missing activity %lld "
+            "or workflow %lld",
+            taskid, static_cast<long long>(row[1].as_int()),
+            static_cast<long long>(row[2].as_int())));
+      }
+      const std::string& status = row[5].as_string();
+      const bool open = status == prov::kStatusRunning;
+      const bool closed = status == prov::kStatusFinished ||
+                          status == prov::kStatusFailed ||
+                          status == prov::kStatusAborted;
+      if (!open && !closed) {
+        ok = fail(strformat("recovery: activation %lld has illegal status "
+                            "'%s'",
+                            taskid, status.c_str()));
+      }
+      if (open != row[4].is_null()) {
+        ok = fail(strformat(
+            "recovery: activation %lld status '%s' disagrees with its "
+            "endtime being %s",
+            taskid, status.c_str(), row[4].is_null() ? "NULL" : "set"));
+      }
+      if (closed && row[4].as_double() < row[3].as_double() - kTimeEps) {
+        ok = fail(strformat("recovery: activation %lld ends at %.6f before "
+                            "its start %.6f",
+                            taskid, row[4].as_double(), row[3].as_double()));
+      }
+      if (row[8].as_int() < 1) {
+        ok = fail(strformat("recovery: activation %lld has attempts %lld < 1",
+                            taskid,
+                            static_cast<long long>(row[8].as_int())));
+      }
+    }
+    std::set<long long> fileids;
+    for (const sql::Row& row : db.table("hfile").rows()) {
+      if (!fileids.insert(row[0].as_int()).second) {
+        ok = fail(strformat("recovery: duplicate fileid %lld",
+                            static_cast<long long>(row[0].as_int())));
+      }
+      if (!taskids.contains(row[3].as_int())) {
+        ok = fail(strformat(
+            "recovery: hfile %lld references missing activation %lld",
+            static_cast<long long>(row[0].as_int()),
+            static_cast<long long>(row[3].as_int())));
+      }
+    }
+    std::set<long long> valueids;
+    for (const sql::Row& row : db.table("hvalue").rows()) {
+      if (!valueids.insert(row[0].as_int()).second) {
+        ok = fail(strformat("recovery: duplicate valueid %lld",
+                            static_cast<long long>(row[0].as_int())));
+      }
+      if (!taskids.contains(row[1].as_int())) {
+        ok = fail(strformat(
+            "recovery: hvalue %lld references missing activation %lld",
+            static_cast<long long>(row[0].as_int()),
+            static_cast<long long>(row[1].as_int())));
+      }
+    }
+  });
+  return ok;
 }
 
 bool InvariantChecker::check_lockdep() {

@@ -80,6 +80,16 @@ class InvariantChecker {
                      prov::ProvenanceStore& store,
                      const std::string& workflow_tag);
 
+  /// Invariant (f), crash-recovery integrity: a store just reopened from
+  /// its WAL must be a consistent prefix of the pre-crash history —
+  /// recovery pruned nothing (the commit protocol orders dimensions
+  /// before facts, so orphans mean a protocol bug), ids are unique,
+  /// every fact row's references resolve, statuses are legal, attempt
+  /// counters are >= 1 and closed activations have endtime >= starttime.
+  /// RUNNING rows are legal here (the crash interrupted them); call
+  /// ProvenanceStore::abort_open_activations before resuming the run.
+  bool check_recovery(prov::ProvenanceStore& store);
+
   /// Invariant (e), lock discipline: the runtime lock-order analyzer
   /// (util/lockdep, DESIGN.md §11) recorded no error-severity hazard —
   /// no lock-order inversion, pool self-wait or wait-while-holding —

@@ -78,7 +78,17 @@ const std::vector<std::string_view>& known_metric_names() {
       "scidock_prov_file_rows_total",
       "scidock_prov_machine_rows_total",
       "scidock_prov_queries_total",
+      "scidock_prov_recovery_orphan_rows",
+      "scidock_prov_recovery_records",
+      "scidock_prov_recovery_segments",
+      "scidock_prov_recovery_truncated_bytes",
+      "scidock_prov_shards",
       "scidock_prov_value_rows_total",
+      "scidock_prov_wal_bytes_total",
+      "scidock_prov_wal_group_commits_total",
+      "scidock_prov_wal_pending_bytes",
+      "scidock_prov_wal_records_total",
+      "scidock_prov_wal_rotations_total",
       "scidock_prov_workflow_rows_total",
       // simulated scheduler
       "scidock_sched_mean_queue_length",

@@ -1,0 +1,240 @@
+#include "prov/wal.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace scidock::prov::wal {
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  ///< u32 len + u32 checksum
+/// op + 5 x i64 + 2 x f64 + 3 x u32 string lengths.
+constexpr std::size_t kFixedPayload = 1 + 5 * 8 + 2 * 8 + 3 * 4;
+/// Defensive ceiling: no provenance record carries megabytes of text, so
+/// a larger length field can only be corruption.
+constexpr std::size_t kMaxPayload = 1u << 24;
+
+std::uint32_t payload_checksum(std::string_view payload) {
+  const std::uint64_t h = fnv1a64(payload);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T get(std::string_view data, std::size_t at) {
+  T v;
+  std::memcpy(&v, data.data() + at, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+std::string segment_path(const std::string& dir, std::size_t index,
+                         bool sealed) {
+  return strformat("%s/seg-%06zu.wal%s", dir.c_str(), index,
+                   sealed ? "" : ".open");
+}
+
+std::string encode_record(const WalRecord& r) {
+  std::string payload;
+  payload.reserve(kFixedPayload + r.s0.size() + r.s1.size() + r.s2.size());
+  payload.push_back(static_cast<char>(r.op));
+  put<std::int64_t>(payload, r.i0);
+  put<std::int64_t>(payload, r.i1);
+  put<std::int64_t>(payload, r.i2);
+  put<std::int64_t>(payload, r.i3);
+  put<std::int64_t>(payload, r.i4);
+  put<std::uint64_t>(payload, std::bit_cast<std::uint64_t>(r.d0));
+  put<std::uint64_t>(payload, std::bit_cast<std::uint64_t>(r.d1));
+  for (const std::string* s : {&r.s0, &r.s1, &r.s2}) {
+    put<std::uint32_t>(payload, static_cast<std::uint32_t>(s->size()));
+    payload.append(*s);
+  }
+
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
+  put<std::uint32_t>(frame, payload_checksum(payload));
+  frame.append(payload);
+  return frame;
+}
+
+bool decode_frame(std::string_view data, std::size_t& offset, WalRecord& out) {
+  if (offset + kFrameHeader > data.size()) return false;
+  const auto len = get<std::uint32_t>(data, offset);
+  if (len < kFixedPayload || len > kMaxPayload) return false;
+  if (offset + kFrameHeader + len > data.size()) return false;
+  const auto checksum = get<std::uint32_t>(data, offset + 4);
+  const std::string_view payload = data.substr(offset + kFrameHeader, len);
+  if (payload_checksum(payload) != checksum) return false;
+
+  std::size_t at = 0;
+  const auto op = static_cast<std::uint8_t>(payload[at]);
+  if (op < static_cast<std::uint8_t>(WalOp::BeginWorkflow) ||
+      op > static_cast<std::uint8_t>(WalOp::RecordValue)) {
+    return false;
+  }
+  out.op = static_cast<WalOp>(op);
+  at += 1;
+  out.i0 = get<std::int64_t>(payload, at); at += 8;
+  out.i1 = get<std::int64_t>(payload, at); at += 8;
+  out.i2 = get<std::int64_t>(payload, at); at += 8;
+  out.i3 = get<std::int64_t>(payload, at); at += 8;
+  out.i4 = get<std::int64_t>(payload, at); at += 8;
+  out.d0 = std::bit_cast<double>(get<std::uint64_t>(payload, at)); at += 8;
+  out.d1 = std::bit_cast<double>(get<std::uint64_t>(payload, at)); at += 8;
+  for (std::string* s : {&out.s0, &out.s1, &out.s2}) {
+    if (at + 4 > payload.size()) return false;
+    const auto n = get<std::uint32_t>(payload, at);
+    at += 4;
+    if (at + n > payload.size()) return false;
+    s->assign(payload.data() + at, n);
+    at += n;
+  }
+  if (at != payload.size()) return false;
+  offset += kFrameHeader + len;
+  return true;
+}
+
+ShardReplay replay_shard(vfs::SharedFileSystem& fs, const std::string& dir,
+                         bool repair) {
+  ShardReplay out;
+
+  // Collect seg-NNNNNN.wal[.open] files under dir, keyed by index. A
+  // sealed and an open file with the same index cannot both exist (rename
+  // is atomic), but if tampering produced that, the sealed one wins.
+  std::vector<SegmentStatus> segments;
+  for (const vfs::FileInfo& f : fs.list(dir + "/")) {
+    const auto slash = f.path.rfind('/');
+    const std::string name = f.path.substr(slash + 1);
+    if (!name.starts_with("seg-")) continue;
+    bool sealed = false;
+    if (name.ends_with(".wal")) {
+      sealed = true;
+    } else if (!name.ends_with(".wal.open")) {
+      continue;
+    }
+    const std::string digits = name.substr(4, name.find('.') - 4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    SegmentStatus seg;
+    seg.path = f.path;
+    seg.index = static_cast<std::size_t>(std::stoull(digits));
+    seg.sealed = sealed;
+    seg.bytes = f.size;
+    segments.push_back(std::move(seg));
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentStatus& a, const SegmentStatus& b) {
+              if (a.index != b.index) return a.index < b.index;
+              return a.sealed && !b.sealed;
+            });
+  segments.erase(std::unique(segments.begin(), segments.end(),
+                             [](const SegmentStatus& a,
+                                const SegmentStatus& b) {
+                               return a.index == b.index;
+                             }),
+                 segments.end());
+
+  bool torn = false;
+  for (SegmentStatus& seg : segments) {
+    if (torn) {
+      // Nothing may legally follow a torn segment; whatever does is
+      // unreachable from the commit protocol and gets discarded whole.
+      out.truncated_bytes += seg.bytes;
+      seg.valid_bytes = 0;
+      continue;
+    }
+    const std::string content = fs.read(seg.path);
+    std::size_t offset = 0;
+    WalRecord record;
+    while (decode_frame(content, offset, record)) {
+      out.records.push_back(std::move(record));
+      record = WalRecord{};
+    }
+    seg.valid_bytes = offset;
+    if (offset < content.size()) {
+      torn = true;
+      out.truncated_bytes += content.size() - offset;
+    }
+  }
+
+  out.next_index = segments.empty() ? 0 : segments.back().index + 1;
+
+  if (repair) {
+    for (const SegmentStatus& seg : segments) {
+      if (seg.valid_bytes == seg.bytes) {
+        // Intact. Seal a leftover .open segment so the directory reads
+        // the same on the next open (recovery never appends to it).
+        if (!seg.sealed && seg.bytes > 0) {
+          fs.rename(seg.path, segment_path(dir, seg.index, true));
+        }
+        continue;
+      }
+      if (seg.valid_bytes == 0) {
+        fs.remove(seg.path);
+        continue;
+      }
+      const std::string content = fs.read(seg.path);
+      fs.write(segment_path(dir, seg.index, true),
+               content.substr(0, seg.valid_bytes), 0.0, "prov-wal-repair");
+      if (!seg.sealed) fs.remove(seg.path);
+    }
+  }
+
+  out.segments = std::move(segments);
+  return out;
+}
+
+SegmentWriter::SegmentWriter(vfs::SharedFileSystem& fs, std::string dir,
+                             std::size_t segment_max_bytes,
+                             std::size_t next_index)
+    : fs_(fs),
+      dir_(std::move(dir)),
+      segment_max_bytes_(std::max<std::size_t>(segment_max_bytes, 1)),
+      index_(next_index),
+      active_path_(segment_path(dir_, index_, false)) {}
+
+void SegmentWriter::seal_active(double now) {
+  if (active_bytes_ == 0) return;  // nothing written: no file to seal
+  fs_.sync(active_path_);
+  fs_.rename(active_path_, segment_path(dir_, index_, true));
+  ++index_;
+  ++rotations_;
+  active_path_ = segment_path(dir_, index_, false);
+  active_bytes_ = 0;
+  (void)now;
+}
+
+void SegmentWriter::append(std::string_view frames, double now) {
+  if (frames.empty()) return;
+  if (active_bytes_ > 0 && active_bytes_ + frames.size() > segment_max_bytes_) {
+    seal_active(now);
+  }
+  try {
+    fs_.append(active_path_, frames, now, "prov-wal");
+  } catch (const vfs::TornWriteError& e) {
+    active_bytes_ += e.applied();
+    throw;
+  }
+  active_bytes_ += frames.size();
+}
+
+void SegmentWriter::sync() {
+  if (active_bytes_ > 0) fs_.sync(active_path_);
+}
+
+}  // namespace scidock::prov::wal

@@ -426,6 +426,10 @@ std::string derive_column_name(const SelectItem& item) {
 
 }  // namespace
 
+std::string derive_select_column_name(const SelectItem& item) {
+  return derive_column_name(item);
+}
+
 std::string ResultSet::to_text() const {
   std::vector<std::size_t> widths(columns.size());
   for (std::size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();

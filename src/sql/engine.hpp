@@ -24,6 +24,12 @@ struct ResultSet {
   std::string to_text() const;
 };
 
+/// Result-column name the engine derives for a select item: the alias if
+/// present, else the column / call name, else the expression text.
+/// Exposed for the sharded executor (sql/sharded.hpp), which must emit
+/// headers identical to a single-shard run.
+std::string derive_select_column_name(const SelectItem& item);
+
 class Engine {
  public:
   explicit Engine(Database& db) : db_(db) {}

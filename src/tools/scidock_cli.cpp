@@ -3,9 +3,9 @@
 //   scidock_cli dock <RECEPTOR> <LIGAND> [--engine ad4|vina]
 //   scidock_cli screen [--receptors N] [--threads N] [--engine auto|ad4|vina]
 //   scidock_cli sweep [--pairs N] [--engine ad4|vina] [--cores 2,4,...]
-//   scidock_cli query "<SQL>" [--pairs N]
+//   scidock_cli query "<SQL>" [--pairs N] [--prov-shards N] [--prov-dir DIR]
 //   scidock_cli spec
-//   scidock_cli prov-export [--pairs N]
+//   scidock_cli prov-export [--pairs N] [--prov-shards N] [--prov-dir DIR]
 //
 // `dock` and `screen` run the real docking engines natively; `sweep`,
 // `query` and `prov-export` replay on the cloud simulator with full
@@ -16,7 +16,14 @@
 // self-checked before writing: the trace must round-trip through the
 // bundled parser with a well-nested span tree, and screen's activation
 // counters must reconcile exactly with SQL over the PROV-Wf store.
+//
+// `query` and `prov-export` accept --prov-shards N (sharded store with
+// distributed SELECT execution) and --prov-dir DIR (write-ahead-logged
+// store; the run is then replayed from the WAL into a second store and
+// the two content digests must match before the command's output is
+// served — a crash-recovery self-check on every invocation).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -35,6 +42,7 @@
 #include "scidock/experiment.hpp"
 #include "util/lockdep.hpp"
 #include "util/strings.hpp"
+#include "vfs/vfs.hpp"
 #include "wf/relational.hpp"
 #include "wf/spec.hpp"
 
@@ -48,9 +56,9 @@ int usage() {
                "  dock <RECEPTOR> <LIGAND> [--engine ad4|vina]\n"
                "  screen [--receptors N] [--threads N] [--engine auto|ad4|vina]\n"
                "  sweep [--pairs N] [--engine ad4|vina] [--cores 2,4,8,...]\n"
-               "  query \"<SQL>\" [--pairs N]\n"
+               "  query \"<SQL>\" [--pairs N] [--prov-shards N] [--prov-dir DIR]\n"
                "  spec\n"
-               "  prov-export [--pairs N]\n"
+               "  prov-export [--pairs N] [--prov-shards N] [--prov-dir DIR]\n"
                "screen/sweep also take:\n"
                "  --trace-out FILE    Chrome chrome://tracing JSON\n"
                "  --metrics-out FILE  Prometheus text metrics\n"
@@ -277,15 +285,52 @@ int cmd_sweep(const std::vector<std::string>& args) {
 }
 
 /// Run a small simulated screening with provenance, then apply `fn`.
+/// --prov-shards selects a sharded store; --prov-dir additionally logs
+/// every record to a WAL and proves the run recoverable (replay into a
+/// second store, digests must match) before `fn` sees the data.
 template <typename F>
 int with_provenance(const std::vector<std::string>& args, F&& fn) {
   const int pairs = std::atoi(flag(args, "pairs", "200").c_str());
+  const int shards = std::atoi(flag(args, "prov-shards", "1").c_str());
+  const std::string prov_dir = flag(args, "prov-dir", "");
   core::Experiment exp = core::make_experiment(
       data::table2_receptors(), data::table2_ligands(),
       static_cast<std::size_t>(pairs), {});
-  prov::ProvenanceStore store;
-  core::run_simulated(exp, 16, &store);
-  return fn(store);
+  if (shards <= 1 && prov_dir.empty()) {
+    prov::ProvenanceStore store;
+    core::run_simulated(exp, 16, &store);
+    return fn(store);
+  }
+
+  vfs::SharedFileSystem fs;
+  prov::ProvenanceStoreOptions options;
+  options.shard_count = static_cast<std::size_t>(std::max(shards, 1));
+  options.wal_dir = prov_dir.empty() ? "/prov" : prov_dir;
+  if (!prov_dir.empty()) options.vfs = &fs;
+  std::string digest;
+  {
+    prov::ProvenanceStore store(options);
+    core::run_simulated(exp, 16, &store);
+    if (!store.durable()) return fn(store);
+    store.flush();
+    digest = store.content_digest();
+    // Destruction drains the group-commit flusher; the WAL now holds the
+    // complete run.
+  }
+  prov::ProvenanceStore reopened(options);
+  if (reopened.content_digest() != digest) {
+    std::fprintf(stderr,
+                 "scidock_cli: provenance recovery self-check failed: "
+                 "replayed store differs from the live one\n");
+    return 1;
+  }
+  const prov::RecoveryReport& rec = reopened.last_recovery();
+  std::fprintf(stderr,
+               "prov: %zu shard(s), WAL %s: replayed %zu record(s) from %zu "
+               "segment(s); recovery self-check passed\n",
+               reopened.shard_count(), options.wal_dir.c_str(), rec.records,
+               rec.segments);
+  return fn(reopened);
 }
 
 int cmd_query(const std::vector<std::string>& args) {

@@ -22,6 +22,7 @@
 ///
 /// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -159,6 +160,26 @@ class CondVar {
   }
 #else
   void wait(Mutex& mutex) SCIDOCK_REQUIRES(mutex) { cv_.wait(mutex); }
+#endif
+
+  /// Timed wait (group-commit flusher heartbeats). Same hazard checks as
+  /// wait(); returns std::cv_status::timeout when the duration elapsed.
+#if SCIDOCK_LOCKDEP_ENABLED
+  template <class Rep, class Period>
+  std::cv_status wait_for(
+      Mutex& mutex, const std::chrono::duration<Rep, Period>& rel_time,
+      std::source_location site = std::source_location::current())
+      SCIDOCK_REQUIRES(mutex) {
+    lockdep::on_cond_wait(&mutex, site);
+    return cv_.wait_for(mutex, rel_time);
+  }
+#else
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<Rep, Period>& rel_time)
+      SCIDOCK_REQUIRES(mutex) {
+    return cv_.wait_for(mutex, rel_time);
+  }
 #endif
 
   void notify_one() { cv_.notify_one(); }

@@ -21,15 +21,37 @@ void SharedFileSystem::set_fault_hook(FaultHook hook) {
   fault_hook_ = std::move(hook);
 }
 
+void SharedFileSystem::set_torn_write_hook(TornWriteHook hook) {
+  MutexLock lock(mutex_);
+  torn_write_hook_ = std::move(hook);
+}
+
 SharedFileSystem::FaultHook SharedFileSystem::fault_hook_snapshot() const {
   MutexLock lock(mutex_);
   return fault_hook_;
+}
+
+SharedFileSystem::TornWriteHook SharedFileSystem::torn_write_hook_snapshot()
+    const {
+  MutexLock lock(mutex_);
+  return torn_write_hook_;
 }
 
 void SharedFileSystem::write(std::string_view path, std::string content,
                              double now, std::string_view producer) {
   const std::string key = normalize(path);
   if (const FaultHook hook = fault_hook_snapshot()) hook(FileOp::Write, key);
+  bool torn = false;
+  std::size_t keep = 0;
+  if (const TornWriteHook hook = torn_write_hook_snapshot()) {
+    if (const auto t = hook(FileOp::Write, key, content.size());
+        t && *t < content.size()) {
+      torn = true;
+      keep = *t;
+    }
+  }
+  const std::size_t total = content.size();
+  if (torn) content.resize(keep);
   MutexLock lock(mutex_);
   bytes_written_ += content.size();
   const auto it = std::lower_bound(
@@ -40,12 +62,80 @@ void SharedFileSystem::write(std::string_view path, std::string content,
     it->info.mtime = now;
     it->info.producer = std::string(producer);
     it->content = std::move(content);
-    return;
+  } else {
+    Entry entry;
+    entry.info = FileInfo{key, content.size(), now, std::string(producer)};
+    entry.content = std::move(content);
+    entries_.insert(it, std::move(entry));
   }
-  Entry entry;
-  entry.info = FileInfo{key, content.size(), now, std::string(producer)};
-  entry.content = std::move(content);
-  entries_.insert(it, std::move(entry));
+  if (torn) throw TornWriteError(key, keep, total);
+}
+
+void SharedFileSystem::append(std::string_view path, std::string_view data,
+                              double now, std::string_view producer) {
+  const std::string key = normalize(path);
+  if (const FaultHook hook = fault_hook_snapshot()) hook(FileOp::Append, key);
+  bool torn = false;
+  std::size_t keep = 0;
+  if (const TornWriteHook hook = torn_write_hook_snapshot()) {
+    if (const auto t = hook(FileOp::Append, key, data.size());
+        t && *t < data.size()) {
+      torn = true;
+      keep = *t;
+    }
+  }
+  const std::size_t total = data.size();
+  const std::string_view applied = torn ? data.substr(0, keep) : data;
+  MutexLock lock(mutex_);
+  bytes_written_ += applied.size();
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.info.path < k; });
+  if (it != entries_.end() && it->info.path == key) {
+    it->content.append(applied);
+    it->info.size = it->content.size();
+    it->info.mtime = now;
+    if (!producer.empty()) it->info.producer = std::string(producer);
+  } else {
+    Entry entry;
+    entry.info = FileInfo{key, applied.size(), now, std::string(producer)};
+    entry.content = std::string(applied);
+    entries_.insert(it, std::move(entry));
+  }
+  if (torn) throw TornWriteError(key, keep, total);
+}
+
+void SharedFileSystem::rename(std::string_view from, std::string_view to) {
+  const std::string src = normalize(from);
+  const std::string dst = normalize(to);
+  if (const FaultHook hook = fault_hook_snapshot()) hook(FileOp::Rename, src);
+  if (src == dst) return;
+  MutexLock lock(mutex_);
+  const auto find = [this](const std::string& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const Entry& e, const std::string& k) { return e.info.path < k; });
+  };
+  auto sit = find(src);
+  if (sit == entries_.end() || sit->info.path != src) {
+    throw NotFoundError("file", src);
+  }
+  Entry moved = std::move(*sit);
+  entries_.erase(sit);
+  moved.info.path = dst;
+  auto dit = find(dst);
+  if (dit != entries_.end() && dit->info.path == dst) {
+    *dit = std::move(moved);
+  } else {
+    entries_.insert(dit, std::move(moved));
+  }
+}
+
+void SharedFileSystem::sync(std::string_view path) {
+  const std::string key = normalize(path);
+  if (const FaultHook hook = fault_hook_snapshot()) hook(FileOp::Sync, key);
+  MutexLock lock(mutex_);
+  ++sync_count_;
 }
 
 std::string SharedFileSystem::read(std::string_view path) const {
@@ -124,6 +214,11 @@ std::size_t SharedFileSystem::bytes_written() const {
 std::size_t SharedFileSystem::bytes_read() const {
   MutexLock lock(mutex_);
   return bytes_read_;
+}
+
+std::size_t SharedFileSystem::sync_count() const {
+  MutexLock lock(mutex_);
+  return sync_count_;
 }
 
 std::pair<std::string, std::string> split_path(std::string_view path) {

@@ -14,9 +14,31 @@
 #include <string_view>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace scidock::vfs {
+
+/// Thrown when a torn-write fault fires: the first `applied` bytes of the
+/// operation reached the file, the rest did not — the shape of a crash
+/// mid-write on a real filesystem. Recovery code (the provenance WAL
+/// replay) must tolerate the resulting partial record.
+class TornWriteError : public Error {
+ public:
+  TornWriteError(std::string_view path, std::size_t applied, std::size_t total)
+      : Error("torn write on '" + std::string(path) + "': " +
+              std::to_string(applied) + " of " + std::to_string(total) +
+              " bytes applied"),
+        applied_(applied),
+        total_(total) {}
+
+  std::size_t applied() const { return applied_; }
+  std::size_t total() const { return total_; }
+
+ private:
+  std::size_t applied_ = 0;
+  std::size_t total_ = 0;
+};
 
 struct FileInfo {
   std::string path;      ///< absolute path, '/'-separated
@@ -40,26 +62,54 @@ struct LatencyModel {
   }
 };
 
-/// Operation kind passed to a FaultHook.
-enum class FileOp { Read, Write };
+/// Operation kind passed to a FaultHook / TornWriteHook.
+enum class FileOp { Read, Write, Append, Rename, Sync };
 
 /// Thread-safe in-memory filesystem.
 class SharedFileSystem {
  public:
-  /// Invoked at the start of read()/write() with the normalised path,
-  /// outside the filesystem lock. A throwing hook makes the operation
-  /// fail with that exception; a sleeping hook models a latency spike.
-  /// Installed by the chaos harness; must be thread-safe.
+  /// Invoked at the start of read()/write()/append()/rename()/sync() with
+  /// the normalised path, outside the filesystem lock. A throwing hook
+  /// makes the operation fail with that exception (nothing is applied); a
+  /// sleeping hook models a latency spike. Installed by the chaos
+  /// harness; must be thread-safe.
   using FaultHook = std::function<void(FileOp, const std::string& path)>;
+
+  /// Byte-granular torn-write injection (chaos). Consulted by write() and
+  /// append() after the FaultHook, outside the lock, with the operation's
+  /// total byte count. Returning a value k < bytes applies exactly the
+  /// first k bytes and throws TornWriteError — a partial record smaller
+  /// than one WAL frame, which a plain throwing FaultHook cannot express.
+  /// Returning nullopt (or k >= bytes) leaves the operation untouched.
+  using TornWriteHook = std::function<std::optional<std::size_t>(
+      FileOp, const std::string& path, std::size_t bytes)>;
 
   explicit SharedFileSystem(LatencyModel latency = {}) : latency_(latency) {}
 
   /// Install (or clear, with an empty function) the fault hook.
   void set_fault_hook(FaultHook hook);
+  /// Install (or clear, with an empty function) the torn-write hook.
+  void set_torn_write_hook(TornWriteHook hook);
 
   /// Create or replace. `now` stamps mtime (simulation seconds).
   void write(std::string_view path, std::string content, double now = 0.0,
              std::string_view producer = "");
+
+  /// Append to an existing file (create if absent). `now` stamps mtime.
+  void append(std::string_view path, std::string_view data, double now = 0.0,
+              std::string_view producer = "");
+
+  /// Atomically move `from` onto `to` (replacing any existing file, POSIX
+  /// rename semantics). Throws NotFoundError if `from` is absent. The
+  /// fault hook sees FileOp::Rename with the *source* path, so a chaos
+  /// kill point can fire between a WAL segment's final write and the
+  /// rename that seals it.
+  void rename(std::string_view from, std::string_view to);
+
+  /// Durability barrier (fsync stand-in). Contents are always in memory
+  /// here, so this only feeds the fault hook — a throwing hook models a
+  /// failed fsync — and the sync-count accounting benches report.
+  void sync(std::string_view path);
 
   /// Content or throws NotFoundError.
   std::string read(std::string_view path) const;
@@ -83,6 +133,7 @@ class SharedFileSystem {
   // ---- I/O accounting (for the benches' data-volume reports) ----
   std::size_t bytes_written() const;
   std::size_t bytes_read() const;
+  std::size_t sync_count() const;
 
  private:
   struct Entry {
@@ -92,17 +143,20 @@ class SharedFileSystem {
   /// Normalise: ensure a single leading '/', collapse duplicate slashes.
   static std::string normalize(std::string_view path);
 
-  /// Copy the hook out under the lock so a concurrent set_fault_hook
-  /// cannot race the invocation.
+  /// Copy the hooks out under the lock so a concurrent set_*_hook cannot
+  /// race the invocation.
   FaultHook fault_hook_snapshot() const;
+  TornWriteHook torn_write_hook_snapshot() const;
 
   LatencyModel latency_;  ///< immutable after construction
   mutable Mutex mutex_{"vfs.fs"};
   FaultHook fault_hook_ SCIDOCK_GUARDED_BY(mutex_);
+  TornWriteHook torn_write_hook_ SCIDOCK_GUARDED_BY(mutex_);
   /// Sorted by path for cheap prefix listing.
   std::vector<Entry> entries_ SCIDOCK_GUARDED_BY(mutex_);
   std::size_t bytes_written_ SCIDOCK_GUARDED_BY(mutex_) = 0;
   mutable std::size_t bytes_read_ SCIDOCK_GUARDED_BY(mutex_) = 0;
+  std::size_t sync_count_ SCIDOCK_GUARDED_BY(mutex_) = 0;
 };
 
 /// Split "/a/b/c.dlg" into directory "/a/b/" and name "c.dlg".

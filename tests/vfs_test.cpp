@@ -113,6 +113,83 @@ TEST(Vfs, ConcurrentWritersAreSafe) {
   EXPECT_EQ(fs.total_bytes(), 4000u);
 }
 
+TEST(Vfs, AppendCreatesAndExtends) {
+  SharedFileSystem fs;
+  fs.append("/log", "one", 1.0, "wal");
+  fs.append("/log", "+two", 2.0, "wal");
+  EXPECT_EQ(fs.read("/log"), "one+two");
+  EXPECT_EQ(fs.stat("/log")->mtime, 2.0);
+}
+
+TEST(Vfs, RenameMovesAndReplaces) {
+  SharedFileSystem fs;
+  fs.write("/seg.open", "data");
+  fs.write("/seg", "stale");
+  fs.rename("/seg.open", "/seg");
+  EXPECT_FALSE(fs.exists("/seg.open"));
+  EXPECT_EQ(fs.read("/seg"), "data");
+  EXPECT_EQ(fs.file_count(), 1u);
+  EXPECT_THROW(fs.rename("/absent", "/x"), NotFoundError);
+}
+
+TEST(Vfs, SyncCountsAndFeedsFaultHook) {
+  SharedFileSystem fs;
+  fs.write("/f", "x");
+  fs.sync("/f");
+  fs.sync("/f");
+  EXPECT_EQ(fs.sync_count(), 2u);
+  fs.set_fault_hook([](FileOp op, const std::string& path) {
+    if (op == FileOp::Sync) throw ActivityError("fsync failed: " + path);
+  });
+  EXPECT_THROW(fs.sync("/f"), ActivityError);
+}
+
+// Regression: the throwing FaultHook fires *before* an operation applies,
+// so it can only model all-or-nothing failures. A torn write — the
+// fundamental WAL crash mode — needs byte granularity: the hook returns
+// how many bytes reach "disk" before the failure, the VFS applies exactly
+// that prefix, then raises TornWriteError carrying applied/total.
+TEST(Vfs, TornWriteHookCutsAppendsMidRecord) {
+  SharedFileSystem fs;
+  fs.append("/wal/seg", "AAAA");
+  fs.set_torn_write_hook([](FileOp op, const std::string&,
+                            std::size_t) -> std::optional<std::size_t> {
+    return op == FileOp::Append ? std::optional<std::size_t>{3}
+                                : std::nullopt;
+  });
+  try {
+    fs.append("/wal/seg", "BBBBBBBB");
+    FAIL() << "append must tear";
+  } catch (const TornWriteError& e) {
+    EXPECT_EQ(e.applied(), 3u);
+    EXPECT_EQ(e.total(), 8u);
+  }
+  // The partial prefix really landed: exactly 3 of the 8 bytes.
+  EXPECT_EQ(fs.read("/wal/seg"), "AAAABBB");
+
+  // A full-length return (or longer) means "not torn": no throw.
+  fs.set_torn_write_hook([](FileOp, const std::string&,
+                            std::size_t bytes) -> std::optional<std::size_t> {
+    return bytes;
+  });
+  fs.append("/wal/seg", "CC");
+  EXPECT_EQ(fs.read("/wal/seg"), "AAAABBBCC");
+}
+
+TEST(Vfs, TornWriteHookTruncatesWrites) {
+  SharedFileSystem fs;
+  fs.set_torn_write_hook([](FileOp op, const std::string&,
+                            std::size_t) -> std::optional<std::size_t> {
+    return op == FileOp::Write ? std::optional<std::size_t>{2}
+                               : std::nullopt;
+  });
+  EXPECT_THROW(fs.write("/f", "wxyz"), TornWriteError);
+  EXPECT_EQ(fs.read("/f"), "wx");
+  fs.set_torn_write_hook(nullptr);
+  fs.write("/f", "whole");
+  EXPECT_EQ(fs.read("/f"), "whole");
+}
+
 TEST(Vfs, EmptyPathRejected) {
   SharedFileSystem fs;
   EXPECT_THROW(fs.write("", "x"), InvalidStateError);
