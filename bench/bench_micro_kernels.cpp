@@ -3,11 +3,15 @@
 // torsion application, parsers and the SQL engine.
 //
 // After the google-benchmark tables, main() runs the kernel perf report:
-// timed analytic-vs-LUT comparisons, serial-vs-parallel AutoGrid and the
-// grid-map-reuse pipeline A/B, written to BENCH_kernels.json with the
-// ISSUE acceptance gates enforced (LUT >= 3x on the AD4 pair kernel,
-// >= 30% lower AutoGrid time at 8 threads, cache hit rate >= 95% with
-// counters reconciled against PROV-Wf by the chaos InvariantChecker).
+// timed analytic-vs-LUT comparisons, scalar-vs-SIMD batched kernels,
+// serial-vs-parallel AutoGrid and the grid-map-reuse pipeline A/B, written
+// to BENCH_kernels.json with the acceptance gates enforced (LUT >= 3x on
+// the AD4 pair kernel; batched AD4 pair term and batched trilinear
+// sampling >= 2x over scalar on a wide-SIMD build, non-regression
+// within timing noise otherwise;
+// >= 30% lower AutoGrid time at 8 threads; cache hit rate at the level
+// the workload's pair/receptor counts make attainable, with counters
+// reconciled against PROV-Wf by the chaos InvariantChecker).
 //
 // Knobs: SCIDOCK_KERNEL_RECEPTORS / SCIDOCK_KERNEL_LIGANDS shrink the
 // pipeline A/B workload for smoke runs.
@@ -19,6 +23,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -30,6 +35,8 @@
 #include "data/table2.hpp"
 #include "dock/autogrid.hpp"
 #include "dock/energy_lut.hpp"
+#include "util/aligned.hpp"
+#include "util/simd.hpp"
 #include "mol/charges.hpp"
 #include "dock/energy.hpp"
 #include "dock/vina.hpp"
@@ -254,6 +261,42 @@ double ns_per_eval(std::size_t evals_per_rep, F&& body) {
   return best_s * 1e9 / static_cast<double>(evals_per_rep);
 }
 
+/// Interleaved variant for ratio gates: alternates measurement windows
+/// across the competing bodies round-robin, keeping each body's minimum
+/// per-rep time — so frequency drift or a noisy co-tenant slows every
+/// competitor in the same windows instead of skewing the ratio that the
+/// gate checks.
+std::vector<double> interleaved_ns_per_eval(
+    std::size_t evals_per_rep,
+    const std::vector<std::function<void()>>& bodies) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t n = bodies.size();
+  std::vector<long long> reps(n, 1);
+  std::vector<double> best(n, 1e300);
+  for (const auto& body : bodies) body();  // warm-up
+  for (int round = 0; round < 64; ++round) {
+    bool settled = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t0 = clock::now();
+      for (long long r = 0; r < reps[i]; ++r) bodies[i]();
+      const double s =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (s < 0.02) {
+        reps[i] *= 4;
+        settled = false;
+        continue;
+      }
+      best[i] = std::min(best[i], s / static_cast<double>(reps[i]));
+    }
+    if (round >= 3 && settled) break;
+  }
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = best[i] * 1e9 / static_cast<double>(evals_per_rep);
+  }
+  return out;
+}
+
 struct PairSample {
   mol::AdType ti, tj;
   double qi, qj;
@@ -278,8 +321,9 @@ std::vector<PairSample> make_pair_samples() {
 int run_kernel_report() {
   using scidock::bench::env_int;
   bench::print_header("SciDock bench: docking kernels",
-                      "perf_opt acceptance: LUT >= 3x, AutoGrid -30% @ 8t, "
-                      "cache hit rate >= 95%");
+                      "perf_opt acceptance: LUT >= 3x, SIMD batch >= 2x "
+                      "(wide) / no regression, AutoGrid -30% @ 8t, cache "
+                      "hit rate >= (pairs - receptors) / pairs");
   int failures = 0;
   const auto gate = [&failures](bool ok, const char* what) {
     if (!ok) {
@@ -292,26 +336,79 @@ int run_kernel_report() {
   const auto samples = make_pair_samples();
   const dock::Ad4Weights ad4_w;
   const auto ad4_tables = dock::Ad4PairTables::shared(ad4_w);
-  const double ad4_analytic_ns = ns_per_eval(samples.size(), [&] {
-    double acc = 0.0;
-    for (const PairSample& s : samples) {
-      acc += dock::ad4_pair_energy(s.ti, s.qi, s.tj, s.qj, std::sqrt(s.r2),
-                                   ad4_w);
-    }
-    benchmark::DoNotOptimize(acc);
-  });
-  const double ad4_lut_ns = ns_per_eval(samples.size(), [&] {
-    double acc = 0.0;
-    for (const PairSample& s : samples) {
-      acc += ad4_tables->pair_energy(s.ti, s.qi, s.tj, s.qj, s.r2);
-    }
-    benchmark::DoNotOptimize(acc);
-  });
+  // The SIMD gates assume real vector width + hardware FMA; narrower
+  // backends (2-lane SSE2/NEON, forced scalar) must simply not regress.
+  // The batched trilinear sampler is genuinely break-even at 2 lanes
+  // (per-lane corner gathers eat the lerp savings), so the non-wide
+  // gate carries a 10% allowance for timer noise — it catches real
+  // regressions, not scheduler jitter on loaded machines.
+  const double simd_threshold = scidock::simd::wide_backend() ? 2.0 : 0.9;
+  constexpr int W = scidock::simd::f64x::kWidth;
+  const std::size_t nsamp = samples.size();  // 4096: a lane multiple
+  std::vector<const double*> batch_rows(nsamp);
+  util::aligned_vector<double> batch_qq(nsamp), batch_solv(nsamp),
+      batch_r2(nsamp);
+  for (std::size_t i = 0; i < nsamp; ++i) {
+    const PairSample& s = samples[i];
+    batch_rows[i] = ad4_tables->vdw_row(s.ti, s.tj);
+    batch_qq[i] = s.qi * s.qj;
+    constexpr double kQasp = 0.01097;
+    const auto& pi = mol::ad_type_params(s.ti);
+    const auto& pj = mol::ad_type_params(s.tj);
+    batch_solv[i] = (pi.solpar + kQasp * std::abs(s.qi)) * pj.volume +
+                    (pj.solpar + kQasp * std::abs(s.qj)) * pi.volume;
+    batch_r2[i] = s.r2;
+  }
+  // Analytic vs scalar LUT vs batched LUT, interleaved: both gates below
+  // are *ratios* of these three.
+  const std::vector<double> ad4_ns = interleaved_ns_per_eval(
+      samples.size(),
+      {[&] {
+         double acc = 0.0;
+         for (const PairSample& s : samples) {
+           acc += dock::ad4_pair_energy(s.ti, s.qi, s.tj, s.qj,
+                                        std::sqrt(s.r2), ad4_w);
+         }
+         benchmark::DoNotOptimize(acc);
+       },
+       [&] {
+         double acc = 0.0;
+         for (const PairSample& s : samples) {
+           acc += ad4_tables->pair_energy(s.ti, s.qi, s.tj, s.qj, s.r2);
+         }
+         benchmark::DoNotOptimize(acc);
+       },
+       [&] {
+         scidock::simd::f64x acc;
+         for (std::size_t i = 0; i < nsamp; i += W) {
+           acc += ad4_tables->pair_energy_lanes(
+               batch_rows.data() + i,
+               scidock::simd::f64x::load(batch_qq.data() + i),
+               scidock::simd::f64x::load(batch_solv.data() + i),
+               scidock::simd::f64x::load(batch_r2.data() + i));
+         }
+         benchmark::DoNotOptimize(acc.hsum());
+       }});
+  const double ad4_analytic_ns = ad4_ns[0];
+  const double ad4_lut_ns = ad4_ns[1];
+  const double ad4_batch_ns = ad4_ns[2];
   const double ad4_speedup = ad4_analytic_ns / ad4_lut_ns;
   bench::print_compare("AD4 pair kernel ns/eval",
                        strformat("%.1f analytic", ad4_analytic_ns),
                        strformat("%.1f LUT (%.1fx)", ad4_lut_ns, ad4_speedup));
   gate(ad4_speedup >= 3.0, "AD4 LUT must be >= 3x faster than analytic");
+
+  // ---- batched (SoA/SIMD) pair term vs the scalar LUT path --------
+  const double ad4_batch_speedup = ad4_lut_ns / ad4_batch_ns;
+  bench::print_compare(
+      "AD4 batched pair ns/eval",
+      strformat("%.1f scalar LUT", ad4_lut_ns),
+      strformat("%.1f %s x%d (%.1fx)", ad4_batch_ns,
+                scidock::simd::backend_name(), W, ad4_batch_speedup));
+  gate(ad4_batch_speedup >= simd_threshold,
+       scidock::simd::wide_backend()
+           ? "batched AD4 pair term must be >= 2x the scalar LUT path"
+           : "batched AD4 pair term must not regress vs the scalar LUT path");
 
   const dock::VinaWeights vina_w;
   const auto vina_tables = dock::VinaPairTables::shared(vina_w);
@@ -351,29 +448,64 @@ int run_kernel_report() {
                         rng.uniform(b.lo.z, b.hi.z)});
     }
   }
-  const double unfused_ns = ns_per_eval(points.size(), [&] {
-    double acc = 0.0;
-    for (const mol::Vec3& p : points) {
-      acc += m0.sample(p) + fused_maps.electrostatic.sample(p) +
-             fused_maps.desolvation.sample(p);
-    }
-    benchmark::DoNotOptimize(acc);
-  });
-  const double fused_ns = ns_per_eval(points.size(), [&] {
-    double acc = 0.0;
-    for (const mol::Vec3& p : points) {
-      const dock::TrilinearSampler s(fx.box, p);
-      if (s.in_box()) {
-        acc += s.apply(m0) + s.apply(fused_maps.electrostatic) +
-               s.apply(fused_maps.desolvation);
-      }
-    }
-    benchmark::DoNotOptimize(acc);
-  });
+  const std::size_t npts = points.size();  // 2048: a lane multiple
+  util::aligned_vector<double> pxs(npts), pys(npts), pzs(npts);
+  for (std::size_t i = 0; i < npts; ++i) {
+    pxs[i] = points[i].x;
+    pys[i] = points[i].y;
+    pzs[i] = points[i].z;
+  }
+  // Separate vs fused vs batched sampling, interleaved for the ratio
+  // gates (same reasoning as the AD4 trio above).
+  const std::vector<double> sample3_ns = interleaved_ns_per_eval(
+      points.size(),
+      {[&] {
+         double acc = 0.0;
+         for (const mol::Vec3& p : points) {
+           acc += m0.sample(p) + fused_maps.electrostatic.sample(p) +
+                  fused_maps.desolvation.sample(p);
+         }
+         benchmark::DoNotOptimize(acc);
+       },
+       [&] {
+         double acc = 0.0;
+         for (const mol::Vec3& p : points) {
+           const dock::TrilinearSampler s(fx.box, p);
+           if (s.in_box()) {
+             acc += s.apply(m0) + s.apply(fused_maps.electrostatic) +
+                    s.apply(fused_maps.desolvation);
+           }
+         }
+         benchmark::DoNotOptimize(acc);
+       },
+       [&] {
+         scidock::simd::f64x acc;
+         for (std::size_t i = 0; i < npts; i += W) {
+           const dock::TrilinearSamplerLanes s(fx.box, pxs.data() + i,
+                                               pys.data() + i, pzs.data() + i);
+           acc += s.apply(m0) + s.apply(fused_maps.electrostatic) +
+                  s.apply(fused_maps.desolvation);
+         }
+         benchmark::DoNotOptimize(acc.hsum());
+       }});
+  const double unfused_ns = sample3_ns[0];
+  const double fused_ns = sample3_ns[1];
+  const double sample3_batch_ns = sample3_ns[2];
   bench::print_compare("3-map sampling ns/point",
                        strformat("%.1f separate", unfused_ns),
                        strformat("%.1f fused (%.1fx)", fused_ns,
                                  unfused_ns / fused_ns));
+
+  // ---- batched trilinear sampling vs the fused scalar sampler -----
+  const double sample3_batch_speedup = fused_ns / sample3_batch_ns;
+  bench::print_compare(
+      "3-map batched ns/point", strformat("%.1f fused scalar", fused_ns),
+      strformat("%.1f %s x%d (%.1fx)", sample3_batch_ns,
+                scidock::simd::backend_name(), W, sample3_batch_speedup));
+  gate(sample3_batch_speedup >= simd_threshold,
+       scidock::simd::wide_backend()
+           ? "batched trilinear sampling must be >= 2x the fused scalar path"
+           : "batched trilinear sampling must not regress vs fused scalar");
 
   // ---- AutoGrid: serial vs 8-thread z-slab fan-out ----------------
   const auto time_autogrid = [&](ThreadPool* pool) {
@@ -503,28 +635,38 @@ int run_kernel_report() {
   gate(outcomes > 0 && misses == static_cast<long long>(receptors.size()),
        "exactly one grid-map compute per receptor");
   gate(reconciled, "cache counters must reconcile with PROV-Wf");
-  // The hit-rate acceptance gate needs a workload where reuse is even
-  // possible at 95% (pairs >> receptors); smoke-scale runs skip it.
-  const double attainable =
-      100.0 * (1.0 - static_cast<double>(receptors.size()) /
-                         static_cast<double>(input_tuples));
-  if (attainable >= 95.0) {
-    gate(hit_rate >= 95.0, "cache hit rate must be >= 95%");
-  } else {
-    std::printf("(hit-rate gate skipped: best attainable %.1f%% at this "
-                "workload scale)\n",
-                attainable);
-  }
+  // The hit-rate threshold is what this workload actually attains when
+  // every pair past the first per receptor is served from cache: hits =
+  // pairs - receptors. Deriving it from the run's own counts keeps the
+  // gate meaningful at smoke scale (a hard-coded 95% is unreachable when
+  // pairs is small) and *tighter* at campaign scale.
+  const double expected_hit_rate =
+      input_tuples > 0
+          ? 100.0 * (1.0 - static_cast<double>(receptors.size()) /
+                               static_cast<double>(input_tuples))
+          : 0.0;
+  std::printf("(hit-rate threshold from workload counts: %zu pairs - %zu "
+              "receptors => %.1f%%)\n",
+              input_tuples, receptors.size(), expected_hit_rate);
+  gate(hit_rate >= expected_hit_rate - 1e-6,
+       "cache hit rate must reach (pairs - receptors) / pairs");
 
   const std::string path = bench::write_bench_json(
       "kernels",
-      {{"ad4_pair_ns_analytic", strformat("%.2f", ad4_analytic_ns)},
+      {{"simd_backend",
+        std::string("\"") + scidock::simd::backend_name() + "\""},
+       {"simd_lane_width", strformat("%d", W)},
+       {"ad4_pair_ns_analytic", strformat("%.2f", ad4_analytic_ns)},
        {"ad4_pair_ns_lut", strformat("%.2f", ad4_lut_ns)},
        {"ad4_pair_speedup", strformat("%.2f", ad4_speedup)},
+       {"ad4_pair_ns_batch", strformat("%.2f", ad4_batch_ns)},
+       {"ad4_pair_batch_speedup", strformat("%.2f", ad4_batch_speedup)},
        {"vina_pair_ns_analytic", strformat("%.2f", vina_analytic_ns)},
        {"vina_pair_ns_lut", strformat("%.2f", vina_lut_ns)},
        {"sample3_ns_separate", strformat("%.2f", unfused_ns)},
        {"sample3_ns_fused", strformat("%.2f", fused_ns)},
+       {"sample3_ns_batch", strformat("%.2f", sample3_batch_ns)},
+       {"sample3_batch_speedup", strformat("%.2f", sample3_batch_speedup)},
        {"autogrid_ms_serial", strformat("%.2f", autogrid_serial_s * 1e3)},
        {"autogrid_ms_8t", strformat("%.2f", autogrid_8t_s * 1e3)},
        {"autogrid_parallel_speedup",
@@ -536,7 +678,8 @@ int run_kernel_report() {
        {"cache_hits", strformat("%lld", hits)},
        {"cache_misses", strformat("%lld", misses)},
        {"cache_inflight_waits", strformat("%lld", waits)},
-       {"cache_hit_rate_pct", strformat("%.2f", hit_rate)}});
+       {"cache_hit_rate_pct", strformat("%.2f", hit_rate)},
+       {"cache_hit_rate_expected_pct", strformat("%.2f", expected_hit_rate)}});
   if (path.empty()) {
     std::printf("GATE FAILED: could not write BENCH_kernels.json\n");
     ++failures;

@@ -3,6 +3,12 @@
 #
 # Stages (each one configure + build + ctest in its own build tree):
 #   default   plain build, full suite minus bench-smoke — the tier-1 gate
+#   scalar    SCIDOCK_SIMD_SCALAR=ON: the forced-scalar reference backend
+#             of util/simd.hpp, full suite minus bench-smoke — proves the
+#             batched docking path is equivalent without any vector ISA
+#   native    -march=native + undefined sanitizer, kernel suite: exercises
+#             the widest backend the host offers (AVX2 where available)
+#             with FMA contraction on, under UBSan
 #   lockdep   SCIDOCK_LOCKDEP=ON: full suite (the analyzer rides along
 #             under every test), the lockdep negative controls, and the
 #             bench_lockdep overhead gate at the real 10x42 workload
@@ -16,7 +22,7 @@
 # group-commit/recovery path, where sanitizers earn their ~10x slowdown.
 #
 # Usage: ci/check.sh [stage ...]     (default: all stages, in order)
-#   e.g. ci/check.sh lockdep tsan
+#   e.g. ci/check.sh scalar tsan
 
 set -euo pipefail
 
@@ -46,6 +52,27 @@ stage_default() {
   run_ctest "$dir" -L prov-recovery
 }
 
+stage_scalar() {
+  local dir="$REPO_ROOT/build-ci-scalar"
+  configure_and_build "$dir" -DSCIDOCK_SIMD_SCALAR=ON
+  run_ctest "$dir" -LE bench-smoke
+  # The kernel bench still runs under the scalar backend (its SIMD
+  # speedup gates auto-relax to >= 1x there) so the JSON records the
+  # reference-backend numbers alongside the vector ones.
+  (cd "$dir" && ./bench/bench_micro_kernels)
+}
+
+stage_native() {
+  local dir="$REPO_ROOT/build-ci-native"
+  configure_and_build "$dir" \
+    -DSCIDOCK_NATIVE_ARCH=ON -DSCIDOCK_SANITIZE=undefined \
+    -DSCIDOCK_BUILD_BENCH=OFF -DSCIDOCK_BUILD_EXAMPLES=OFF
+  # Kernels only: this leg exists to run the widest SIMD backend (and the
+  # FMA-contracted scalar reference) under UBSan, not to re-run the
+  # whole matrix with non-portable codegen.
+  run_ctest "$dir" -L kernels
+}
+
 stage_lockdep() {
   local dir="$REPO_ROOT/build-ci-lockdep"
   configure_and_build "$dir" -DSCIDOCK_LOCKDEP=ON
@@ -70,15 +97,15 @@ stage_tsan() { stage_sanitizer tsan thread; }
 
 STAGES=("$@")
 if [ "${#STAGES[@]}" -eq 0 ]; then
-  STAGES=(default lockdep asan ubsan tsan)
+  STAGES=(default scalar native lockdep asan ubsan tsan)
 fi
 
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    default | lockdep | asan | ubsan | tsan) ;;
+    default | scalar | native | lockdep | asan | ubsan | tsan) ;;
     *)
       echo "ci/check.sh: unknown stage '$stage'" >&2
-      echo "stages: default lockdep asan ubsan tsan" >&2
+      echo "stages: default scalar native lockdep asan ubsan tsan" >&2
       exit 2
       ;;
   esac

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/aligned.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -44,53 +45,73 @@ GridMapSet GridMapCalculator::calculate(
     set.affinity.emplace_back(t, GridMap(box, std::string(mol::ad_type_name(t))));
   }
 
-  // Hoist each (ligand type, receptor atom) LUT row to a flat pointer
-  // array: the inner loop then costs one interpolation per contribution
-  // instead of a pair-index computation plus clamp/exp/pow calls.
+  // Hoist every per-(receptor atom) LUT channel to a flat pointer array,
+  // SoA by atom: slot 0 is the Coulomb channel (factor = atom charge),
+  // slot 1 the desolvation Gaussian (factor = atom volume), slots 2.. the
+  // per-ligand-type vdW rows (factor = 1), padded to a lane multiple with
+  // an all-zero channel. Every table shares the LUT resolution, so the
+  // inner loop computes one LaneBins per (point, atom) squared distance
+  // and sweeps all channels with lane-parallel interpolations — where the
+  // scalar loop paid one bin computation per channel per contribution.
+  constexpr int W = simd::f64x::kWidth;
   const std::size_t natoms = type_.size();
   const std::size_t ntypes = ligand_types.size();
-  std::vector<const double*> rows(ntypes * natoms);
-  for (std::size_t t = 0; t < ntypes; ++t) {
-    for (std::size_t a = 0; a < natoms; ++a) {
-      rows[t * natoms + a] = tables_->vdw_row(ligand_types[t], type_[a]);
+  const std::size_t nchan = ntypes + 2;
+  const std::size_t nchan_padded = (nchan + W - 1) / W * W;
+  const std::vector<double> zero_channel(lut::kEntries + 1, 0.0);
+  std::vector<const double*> rows(natoms * nchan_padded, zero_channel.data());
+  util::aligned_vector<double> factors(natoms * nchan_padded, 0.0);
+  for (std::size_t a = 0; a < natoms; ++a) {
+    const std::size_t base = a * nchan_padded;
+    rows[base + 0] = tables_->coulomb_channel();
+    factors[base + 0] = charge_[a];
+    // Receptor-side volume term only; the ligand atom's solvation
+    // parameter (solpar_i + qasp*|q_i|) multiplies in at sample time
+    // (AD4 map semantics; the product is O(0.01) per contact).
+    rows[base + 1] = tables_->desolv_channel();
+    factors[base + 1] = volume_[a];
+    for (std::size_t t = 0; t < ntypes; ++t) {
+      rows[base + 2 + t] = tables_->vdw_row(ligand_types[t], type_[a]);
+      factors[base + 2 + t] = 1.0;
     }
   }
 
   const mol::Vec3 origin = box.origin();
-  const Ad4PairTables& tables = *tables_;
 
   // One z-slab: every write lands in the slab's own index range of each
   // map, so slabs compute independently and the result is bit-identical
   // across thread counts.
   const auto slab = [&](std::size_t slab_iz) {
     const int iz = static_cast<int>(slab_iz);
-    std::vector<double> e_aff(ntypes, 0.0);
+    util::aligned_vector<double> acc(nchan_padded, 0.0);
     for (int iy = 0; iy < box.npts[1]; ++iy) {
       for (int ix = 0; ix < box.npts[0]; ++ix) {
         const mol::Vec3 p{origin.x + ix * box.spacing,
                           origin.y + iy * box.spacing,
                           origin.z + iz * box.spacing};
-        double e_elec = 0.0;
-        double e_desolv = 0.0;
-        std::fill(e_aff.begin(), e_aff.end(), 0.0);
+        std::fill(acc.begin(), acc.end(), 0.0);
 
         neighbors_.for_each_within(p, [&](int ai, double d2) {
           const auto a = static_cast<std::size_t>(ai);
-          e_elec += charge_[a] * tables.coulomb_factor(d2);
-          // Receptor-side volume term only; the ligand atom's solvation
-          // parameter (solpar_i + qasp*|q_i|) multiplies in at sample time
-          // (AD4 map semantics; the product is O(0.01) per contact).
-          e_desolv += volume_[a] * tables.desolv_gauss(d2);
-          const double* const* row = rows.data() + a;
-          for (std::size_t t = 0; t < ntypes; ++t) {
-            e_aff[t] += lut::interpolate(row[t * natoms], d2);
+          // Broadcast bins: one (bin, fraction) computation serves every
+          // channel. Each accumulator lane adds factor * interpolate in
+          // the scalar loop's per-atom order, so the maps stay
+          // bit-identical to the unbatched path.
+          const lut::LaneBins bins = lut::lane_bins(simd::f64x(d2));
+          const double* const* row = rows.data() + a * nchan_padded;
+          const double* factor = factors.data() + a * nchan_padded;
+          for (std::size_t c = 0; c < nchan_padded; c += W) {
+            simd::f64x sum = simd::f64x::load(acc.data() + c);
+            sum += simd::f64x::load(factor + c) *
+                   lut::interpolate_rows(row + c, bins);
+            sum.store(acc.data() + c);
           }
         });
 
-        set.electrostatic.at(ix, iy, iz) = e_elec;
-        set.desolvation.at(ix, iy, iz) = e_desolv;
+        set.electrostatic.at(ix, iy, iz) = acc[0];
+        set.desolvation.at(ix, iy, iz) = acc[1];
         for (std::size_t t = 0; t < ntypes; ++t) {
-          set.affinity[t].second.at(ix, iy, iz) = e_aff[t];
+          set.affinity[t].second.at(ix, iy, iz) = acc[2 + t];
         }
       }
     }

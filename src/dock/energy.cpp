@@ -53,7 +53,8 @@ Ad4EnergyModel::Ad4EnergyModel(const GridMapSet& maps,
     intra_pairs_.push_back(
         {i, j, ai.ad_type, aj.ad_type, qi, qj, qi * qj,
          (pi.solpar + kQasp * std::abs(qi)) * pj.volume +
-             (pj.solpar + kQasp * std::abs(qj)) * pi.volume});
+             (pj.solpar + kQasp * std::abs(qj)) * pi.volume,
+         tables_->vdw_row(ai.ad_type, aj.ad_type)});
   }
 }
 
@@ -103,6 +104,111 @@ double Ad4EnergyModel::operator()(const DockPose& pose) const {
   return intermolecular(coords) + intramolecular(coords);
 }
 
+void Ad4EnergyModel::pack_batch(const std::vector<DockPose>& poses) const {
+  batch_.resize(static_cast<int>(poses.size()),
+                ligand_.molecule.atom_count());
+  for (int p = 0; p < static_cast<int>(poses.size()); ++p) {
+    batch_.set_pose(p, coords_for(poses[static_cast<std::size_t>(p)]));
+  }
+  batch_.pad_tail();
+}
+
+void Ad4EnergyModel::intermolecular_batch(std::vector<double>& out) const {
+  constexpr int W = PoseBatch::kLaneWidth;
+  out.resize(static_cast<std::size_t>(batch_.pose_count()));
+  for (int b = 0; b < batch_.lane_blocks(); ++b) {
+    // Each lane is one pose: accumulating per atom in the scalar model's
+    // order keeps every lane bit-equal to intermolecular() (the lanes
+    // sampler reproduces TrilinearSampler, including the out-of-box
+    // penalty blended per channel before the charge/solv factors).
+    simd::f64x acc;
+    for (int a = 0; a < batch_.atom_count(); ++a) {
+      const AtomChannels& ch = channels_[static_cast<std::size_t>(a)];
+      const TrilinearSamplerLanes s(maps_.box, batch_.x_plane(b, a),
+                                    batch_.y_plane(b, a),
+                                    batch_.z_plane(b, a));
+      acc += s.apply(*ch.affinity);
+      acc += simd::f64x(ch.charge) * s.apply(maps_.electrostatic);
+      acc += simd::f64x(ch.solv) * s.apply(maps_.desolvation);
+    }
+    for (int l = 0; l < batch_.lanes_in_block(b); ++l) {
+      out[static_cast<std::size_t>(b * W + l)] = acc.lane(l);
+    }
+  }
+}
+
+void Ad4EnergyModel::intramolecular_batch(std::vector<double>& out) const {
+  constexpr int W = PoseBatch::kLaneWidth;
+  out.resize(static_cast<std::size_t>(batch_.pose_count()));
+  const Ad4PairTables& t = *tables_;
+  const simd::f64x cutoff(Ad4PairTables::cutoff_sq());
+  alignas(64) const double* rows[W];
+  for (int b = 0; b < batch_.lane_blocks(); ++b) {
+    simd::f64x acc;
+    for (const IntraPair& p : intra_pairs_) {
+      const simd::f64x dx = simd::f64x::load(batch_.x_plane(b, p.i)) -
+                            simd::f64x::load(batch_.x_plane(b, p.j));
+      const simd::f64x dy = simd::f64x::load(batch_.y_plane(b, p.i)) -
+                            simd::f64x::load(batch_.y_plane(b, p.j));
+      const simd::f64x dz = simd::f64x::load(batch_.z_plane(b, p.i)) -
+                            simd::f64x::load(batch_.z_plane(b, p.j));
+      // Same association as Vec3::dot, so the table-vs-tail branch below
+      // sees the scalar path's d² bit for bit.
+      const simd::f64x d2 = dx * dx + dy * dy + dz * dz;
+      for (int l = 0; l < W; ++l) rows[l] = p.row;
+      const simd::f64x inside = simd::less_than(d2, cutoff);
+      if (simd::all(inside)) {
+        acc += t.pair_energy_lanes(rows, simd::f64x(p.qq),
+                                   simd::f64x(p.solv), d2);
+        continue;
+      }
+      // Mixed block: evaluate the table on clamped lanes, then patch the
+      // beyond-cutoff lanes with the scalar analytic tail (rare — only
+      // extended ligand pairs leave the 8 Å domain).
+      const simd::f64x lanes = t.pair_energy_lanes(
+          rows, simd::f64x(p.qq), simd::f64x(p.solv), simd::min(d2, cutoff));
+      alignas(64) double ev[W], d2v[W];
+      lanes.store(ev);
+      d2.store(d2v);
+      for (int l = 0; l < W; ++l) {
+        if (!(d2v[l] < Ad4PairTables::cutoff_sq())) {
+          ev[l] = ad4_pair_energy(p.ti, p.qi, p.tj, p.qj, std::sqrt(d2v[l]),
+                                  weights_);
+        }
+      }
+      acc += simd::f64x::load(ev);
+    }
+    for (int l = 0; l < batch_.lanes_in_block(b); ++l) {
+      out[static_cast<std::size_t>(b * W + l)] = acc.lane(l);
+    }
+  }
+}
+
+std::vector<double> Ad4EnergyModel::evaluate_batch(
+    const std::vector<DockPose>& poses) const {
+  if (poses.empty()) return {};
+  evaluations_ += static_cast<long long>(poses.size());
+  pack_batch(poses);
+  std::vector<double> inter, intra;
+  intermolecular_batch(inter);
+  intramolecular_batch(intra);
+  for (std::size_t i = 0; i < inter.size(); ++i) inter[i] += intra[i];
+  return inter;
+}
+
+void Ad4EnergyModel::score_batch(const std::vector<DockPose>& poses,
+                                 std::vector<double>* inter,
+                                 std::vector<double>* intra) const {
+  if (poses.empty()) {
+    if (inter) inter->clear();
+    if (intra) intra->clear();
+    return;
+  }
+  pack_batch(poses);
+  if (inter) intermolecular_batch(*inter);
+  if (intra) intramolecular_batch(*intra);
+}
+
 double Ad4EnergyModel::feb(double inter) const {
   return inter + weights_.tors * static_cast<double>(ligand_.torsions.torsion_count());
 }
@@ -122,15 +228,29 @@ VinaEnergyModel::VinaEnergyModel(const mol::PreparedReceptor& receptor,
   for (const auto& [i, j] : intramolecular_pairs(ligand.molecule)) {
     if (mol::vina_kind(ligand.molecule.atom(i).ad_type).skip) continue;
     if (mol::vina_kind(ligand.molecule.atom(j).ad_type).skip) continue;
-    intra_pairs_.emplace_back(i, j);
+    intra_pairs_.push_back({i, j, tables_->row(ligand.molecule.atom(i).ad_type,
+                                               ligand.molecule.atom(j).ad_type)});
+  }
+  lig_rows_.resize(static_cast<std::size_t>(ligand.molecule.atom_count()) *
+                   static_cast<std::size_t>(mol::kAdTypeCount));
+  for (int i = 0; i < ligand.molecule.atom_count(); ++i) {
+    for (int t = 0; t < mol::kAdTypeCount; ++t) {
+      lig_rows_[static_cast<std::size_t>(i) * mol::kAdTypeCount +
+                static_cast<std::size_t>(t)] =
+          tables_->row(ligand.molecule.atom(i).ad_type,
+                       static_cast<mol::AdType>(t));
+    }
+  }
+  rec_types_.reserve(static_cast<std::size_t>(receptor.molecule.atom_count()));
+  for (int ri = 0; ri < receptor.molecule.atom_count(); ++ri) {
+    rec_types_.push_back(static_cast<int>(receptor.molecule.atom(ri).ad_type));
   }
 }
 
 double VinaEnergyModel::intermolecular(const std::vector<mol::Vec3>& coords) const {
+  constexpr int W = simd::f64x::kWidth;
   double e = 0.0;
-  const VinaPairTables& t = *tables_;
   for (int i = 0; i < ligand_.molecule.atom_count(); ++i) {
-    const mol::Atom& a = ligand_.molecule.atom(i);
     const mol::Vec3& p = coords[static_cast<std::size_t>(i)];
     // Vina confines the search to the box: out-of-box atoms incur a steep
     // harmonic pull-back, mirroring its boundary handling.
@@ -139,23 +259,40 @@ double VinaEnergyModel::intermolecular(const std::vector<mol::Vec3>& coords) con
       e += 10.0 * mol::distance_sq(p, c);
       continue;
     }
+    // Collect the atom's neighbour block (squared distances straight from
+    // the cell list — the table is indexed by r², so no sqrt — plus the
+    // per-hit LUT channel), pad to a lane multiple with r² = cutoff²
+    // (pair_energy_lanes masks those lanes to the analytic zero), then
+    // accumulate lane-parallel and reduce once per atom.
+    d2_scratch_.clear();
+    row_scratch_.clear();
+    const double* const* rows_for_atom =
+        lig_rows_.data() + static_cast<std::size_t>(i) * mol::kAdTypeCount;
     neighbors_.for_each_within(p, [&](int ri, double d2) {
-      // The neighbour list yields squared distances inside the cutoff;
-      // the table is indexed by r², so no sqrt on the hot path.
-      e += t.pair_energy(a.ad_type, receptor_.molecule.atom(ri).ad_type, d2);
+      d2_scratch_.push_back(d2);
+      row_scratch_.push_back(
+          rows_for_atom[rec_types_[static_cast<std::size_t>(ri)]]);
     });
+    while (d2_scratch_.size() % W != 0) {
+      d2_scratch_.push_back(lut::kCutoffSq);
+      row_scratch_.push_back(rows_for_atom[0]);
+    }
+    simd::f64x acc;
+    for (std::size_t k = 0; k < d2_scratch_.size(); k += W) {
+      acc += tables_->pair_energy_lanes(row_scratch_.data() + k,
+                                        simd::f64x::load(d2_scratch_.data() + k));
+    }
+    e += acc.hsum();
   }
   return e;
 }
 
 double VinaEnergyModel::intramolecular(const std::vector<mol::Vec3>& coords) const {
   double e = 0.0;
-  const VinaPairTables& t = *tables_;
-  for (const auto& [i, j] : intra_pairs_) {
-    const double d2 = mol::distance_sq(coords[static_cast<std::size_t>(i)],
-                                       coords[static_cast<std::size_t>(j)]);
-    e += t.pair_energy(ligand_.molecule.atom(i).ad_type,
-                       ligand_.molecule.atom(j).ad_type, d2);
+  for (const VinaIntraPair& p : intra_pairs_) {
+    const double d2 = mol::distance_sq(coords[static_cast<std::size_t>(p.i)],
+                                       coords[static_cast<std::size_t>(p.j)]);
+    if (d2 < lut::kCutoffSq) e += lut::interpolate(p.row, d2);
   }
   return e;
 }
@@ -164,6 +301,76 @@ double VinaEnergyModel::operator()(const DockPose& pose) const {
   ++evaluations_;
   const std::vector<mol::Vec3> coords = coords_for(pose);
   return intermolecular(coords) + intramolecular(coords);
+}
+
+void VinaEnergyModel::intramolecular_batch(std::vector<double>& out) const {
+  constexpr int W = PoseBatch::kLaneWidth;
+  out.resize(static_cast<std::size_t>(batch_.pose_count()));
+  alignas(64) const double* rows[W];
+  for (int b = 0; b < batch_.lane_blocks(); ++b) {
+    simd::f64x acc;
+    for (const VinaIntraPair& p : intra_pairs_) {
+      const simd::f64x dx = simd::f64x::load(batch_.x_plane(b, p.i)) -
+                            simd::f64x::load(batch_.x_plane(b, p.j));
+      const simd::f64x dy = simd::f64x::load(batch_.y_plane(b, p.i)) -
+                            simd::f64x::load(batch_.y_plane(b, p.j));
+      const simd::f64x dz = simd::f64x::load(batch_.z_plane(b, p.i)) -
+                            simd::f64x::load(batch_.z_plane(b, p.j));
+      const simd::f64x d2 = dx * dx + dy * dy + dz * dz;
+      for (int l = 0; l < W; ++l) rows[l] = p.row;
+      acc += tables_->pair_energy_lanes(rows, d2);
+    }
+    for (int l = 0; l < batch_.lanes_in_block(b); ++l) {
+      out[static_cast<std::size_t>(b * W + l)] = acc.lane(l);
+    }
+  }
+}
+
+std::vector<double> VinaEnergyModel::evaluate_batch(
+    const std::vector<DockPose>& poses) const {
+  if (poses.empty()) return {};
+  evaluations_ += static_cast<long long>(poses.size());
+  batch_.resize(static_cast<int>(poses.size()),
+                ligand_.molecule.atom_count());
+  std::vector<double> out(poses.size());
+  // The intermolecular term vectorizes within a pose (over neighbour
+  // blocks, whose population differs per pose), so it runs per pose on the
+  // same coordinates that fill the SoA batch; only the fixed-topology
+  // intramolecular pair loop lane-parallelizes across poses.
+  for (int p = 0; p < static_cast<int>(poses.size()); ++p) {
+    const std::vector<mol::Vec3> coords =
+        coords_for(poses[static_cast<std::size_t>(p)]);
+    batch_.set_pose(p, coords);
+    out[static_cast<std::size_t>(p)] = intermolecular(coords);
+  }
+  batch_.pad_tail();
+  std::vector<double> intra;
+  intramolecular_batch(intra);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += intra[i];
+  return out;
+}
+
+void VinaEnergyModel::score_batch(const std::vector<DockPose>& poses,
+                                  std::vector<double>* inter,
+                                  std::vector<double>* intra) const {
+  if (poses.empty()) {
+    if (inter) inter->clear();
+    if (intra) intra->clear();
+    return;
+  }
+  batch_.resize(static_cast<int>(poses.size()),
+                ligand_.molecule.atom_count());
+  if (inter) inter->resize(poses.size());
+  for (int p = 0; p < static_cast<int>(poses.size()); ++p) {
+    const std::vector<mol::Vec3> coords =
+        coords_for(poses[static_cast<std::size_t>(p)]);
+    batch_.set_pose(p, coords);
+    if (inter) {
+      (*inter)[static_cast<std::size_t>(p)] = intermolecular(coords);
+    }
+  }
+  batch_.pad_tail();
+  if (intra) intramolecular_batch(*intra);
 }
 
 double VinaEnergyModel::feb(double inter) const {

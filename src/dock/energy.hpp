@@ -12,8 +12,10 @@
 #include "dock/conformation.hpp"
 #include "dock/energy_lut.hpp"
 #include "dock/grid.hpp"
+#include "dock/pose_batch.hpp"
 #include "dock/scoring.hpp"
 #include "mol/prepare.hpp"
+#include "util/aligned.hpp"
 
 namespace scidock::dock {
 
@@ -31,6 +33,19 @@ class Ad4EnergyModel {
 
   /// Objective on a pose; also counts one energy evaluation.
   double operator()(const DockPose& pose) const;
+
+  /// Batched objective through the SoA/SIMD path: applies the torsion
+  /// tree per pose, packs a PoseBatch (kWidth poses per lane block) and
+  /// evaluates the grid-sampling and intra-pair kernels lane-parallel.
+  /// Counts one energy evaluation per pose. Lane-for-lane equivalent to
+  /// operator() within the documented kernel tolerance (exact on backends
+  /// without FMA contraction).
+  std::vector<double> evaluate_batch(const std::vector<DockPose>& poses) const;
+
+  /// Batched scoring with the inter/intra split the engines report.
+  /// Does not count evaluations (reporting path, not search path).
+  void score_batch(const std::vector<DockPose>& poses,
+                   std::vector<double>* inter, std::vector<double>* intra) const;
 
   /// Reported FEB: best intermolecular + torsional entropy penalty
   /// (AD4's DeltaG = inter + tors * N_tors; intra cancels in the bound/
@@ -57,7 +72,13 @@ class Ad4EnergyModel {
     double qi, qj;
     double qq;    ///< qi * qj (Coulomb factor)
     double solv;  ///< symmetric solvation cross term
+    const double* row;  ///< the pair's vdW/H-bond LUT channel
   };
+
+  /// Apply the torsion tree per pose and repack into the SoA scratch.
+  void pack_batch(const std::vector<DockPose>& poses) const;
+  void intermolecular_batch(std::vector<double>& out) const;
+  void intramolecular_batch(std::vector<double>& out) const;
 
   const GridMapSet& maps_;
   const mol::PreparedLigand& ligand_;
@@ -67,6 +88,8 @@ class Ad4EnergyModel {
   mol::Vec3 reference_center_{};
   std::vector<AtomChannels> channels_;
   std::vector<IntraPair> intra_pairs_;
+  mutable PoseBatch batch_;  ///< reused SoA scratch (same discipline as
+                             ///< evaluations_: one model per thread)
   mutable long long evaluations_ = 0;
 };
 
@@ -81,6 +104,17 @@ class VinaEnergyModel {
   double intramolecular(const std::vector<mol::Vec3>& coords) const;
   double operator()(const DockPose& pose) const;
 
+  /// Batched objective (see Ad4EnergyModel::evaluate_batch). The
+  /// intermolecular term vectorizes over each atom's neighbour block and
+  /// the intramolecular term lane-parallelizes across poses; both are
+  /// equivalent to operator() within the documented kernel tolerance.
+  /// Counts one energy evaluation per pose.
+  std::vector<double> evaluate_batch(const std::vector<DockPose>& poses) const;
+
+  /// Batched inter/intra scoring without touching the evaluation count.
+  void score_batch(const std::vector<DockPose>& poses,
+                   std::vector<double>* inter, std::vector<double>* intra) const;
+
   /// Vina's reported affinity from the best intermolecular energy.
   double feb(double inter) const;
 
@@ -89,6 +123,15 @@ class VinaEnergyModel {
   const mol::Vec3& reference_center() const { return reference_center_; }
 
  private:
+  /// Intramolecular pair with the LUT channel hoisted: the type pair is
+  /// fixed per pair, so the row pointer is resolved once at construction.
+  struct VinaIntraPair {
+    int i, j;
+    const double* row;
+  };
+
+  void intramolecular_batch(std::vector<double>& out) const;
+
   const mol::PreparedReceptor& receptor_;
   const mol::PreparedLigand& ligand_;
   GridBox box_;
@@ -99,7 +142,17 @@ class VinaEnergyModel {
   mol::Vec3 reference_center_{};
   /// Skip-type pairs (hydrogens) contribute zero at every distance, so
   /// they are pruned at construction rather than tested per evaluation.
-  std::vector<std::pair<int, int>> intra_pairs_;
+  std::vector<VinaIntraPair> intra_pairs_;
+  /// Per-ligand-atom LUT channel by receptor type: lig_rows_[a * kAdTypeCount
+  /// + t] is the (ligand type of a, t) row, so the neighbour loop resolves
+  /// its channel with one indexed load instead of a pair_index() per hit.
+  std::vector<const double*> lig_rows_;
+  std::vector<int> rec_types_;  ///< receptor atom AdType as int, hoisted
+  mutable PoseBatch batch_;     ///< reused SoA scratch (one model per thread)
+  /// Neighbour-block scratch for the vectorized intermolecular term: the
+  /// (r², channel) pairs of one ligand atom, padded to a lane multiple.
+  mutable util::aligned_vector<double> d2_scratch_;
+  mutable std::vector<const double*> row_scratch_;
   mutable long long evaluations_ = 0;
 };
 

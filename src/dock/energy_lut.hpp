@@ -26,11 +26,13 @@
 /// weight vector (`shared()`), so per-activation model construction costs
 /// one mutex-guarded lookup instead of a rebuild.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "dock/scoring.hpp"
 #include "mol/atom_typing.hpp"
+#include "util/simd.hpp"
 
 namespace scidock::dock {
 
@@ -69,6 +71,60 @@ inline int pair_index(mol::AdType ti, mol::AdType tj) {
 
 inline constexpr int kPairCount =
     mol::kAdTypeCount * (mol::kAdTypeCount + 1) / 2;
+
+/// One lane-batch of interpolation bins: every table in this module shares
+/// the same resolution and domain, so the (bin, fraction) computation for a
+/// vector of squared distances is done once and reused across channels —
+/// the vdW row, the Coulomb channel and the desolvation Gaussian all index
+/// with the same LaneBins (and in AutoGrid, so does every ligand-type row).
+struct LaneBins {
+  std::int32_t lo[simd::f64x::kWidth];  ///< bin index per lane
+  std::int32_t hi[simd::f64x::kWidth];  ///< bin index + 1 per lane
+  simd::f64x t;                         ///< blend fraction per lane
+};
+
+/// Bin/fraction computation for kWidth squared distances. Lanes must lie
+/// in [0, kCutoffSq] (callers clamp or peel out-of-domain lanes first);
+/// each lane reproduces the scalar interpolate() indexing exactly,
+/// including the top-bin clamp at r2 == kCutoffSq.
+inline LaneBins lane_bins(simd::f64x r2) {
+  constexpr double kInvStep = kEntries / kCutoffSq;
+  const simd::f64x x = r2 * simd::f64x(kInvStep);
+  alignas(64) double xi[simd::f64x::kWidth];
+  LaneBins b;
+  simd::truncate_to_int(x, b.lo);
+  for (int l = 0; l < simd::f64x::kWidth; ++l) {
+    if (b.lo[l] >= kEntries) b.lo[l] = kEntries - 1;
+    b.hi[l] = b.lo[l] + 1;
+    xi[l] = static_cast<double>(b.lo[l]);
+  }
+  b.t = x - simd::f64x::load(xi);
+  return b;
+}
+
+/// Lane-parallel linear blend from one shared channel. Same association as
+/// the scalar interpolate() — a + (b - a) * t — so each lane is bit-equal
+/// to the scalar path on backends without FMA contraction.
+inline simd::f64x interpolate(const double* samples, const LaneBins& b) {
+  const simd::f64x a = simd::gather(samples, b.lo);
+  const simd::f64x c = simd::gather(samples, b.hi);
+  return a + (c - a) * b.t;
+}
+
+/// Lane-parallel blend where every lane reads a different channel (one
+/// vdW row per type pair): per-lane base pointers, shared bins.
+inline simd::f64x interpolate_rows(const double* const* rows,
+                                   const LaneBins& b) {
+  alignas(64) double a[simd::f64x::kWidth];
+  alignas(64) double c[simd::f64x::kWidth];
+  for (int l = 0; l < simd::f64x::kWidth; ++l) {
+    a[l] = rows[l][b.lo[l]];
+    c[l] = rows[l][b.hi[l]];
+  }
+  const simd::f64x av = simd::f64x::load(a);
+  const simd::f64x cv = simd::f64x::load(c);
+  return av + (cv - av) * b.t;
+}
 
 }  // namespace lut
 
@@ -111,10 +167,38 @@ class Ad4PairTables {
     return lut::interpolate(gauss_.data(), r2);
   }
 
+  /// Raw channel base pointers, for callers that interleave these with
+  /// per-pair vdW rows in one lane-parallel channel sweep (AutoGrid).
+  const double* coulomb_channel() const { return coulomb_.data(); }
+  const double* desolv_channel() const { return gauss_.data(); }
+
   /// Drop-in for ad4_pair_energy(ti, qi, tj, qj, sqrt(r2), weights):
   /// table path inside the cutoff, analytic tail beyond it.
   double pair_energy(mol::AdType ti, double qi, mol::AdType tj, double qj,
                      double r2) const;
+
+  /// Lane-batched pair term: kWidth independent (pair, r²) evaluations
+  /// with the distance-independent factors hoisted SoA-style. `vdw_rows`
+  /// holds one vdw_row() pointer per lane, `qq` the charge products and
+  /// `solv` the symmetric solvation cross terms. Every lane of `r2` must
+  /// lie in [0, cutoff_sq()] — callers peel tail lanes to pair_energy().
+  simd::f64x pair_energy_lanes(const double* const* vdw_rows, simd::f64x qq,
+                               simd::f64x solv, simd::f64x r2) const {
+    const lut::LaneBins bins = lut::lane_bins(r2);
+    simd::f64x e = lut::interpolate_rows(vdw_rows, bins);
+    e += qq * lut::interpolate(coulomb_.data(), bins);
+    e += solv * lut::interpolate(gauss_.data(), bins);
+    return e;
+  }
+
+  /// Shared-channel batch factors for callers that vectorize over
+  /// same-type-pair distances (the AutoGrid point loop).
+  simd::f64x coulomb_factor_lanes(const lut::LaneBins& bins) const {
+    return lut::interpolate(coulomb_.data(), bins);
+  }
+  simd::f64x desolv_gauss_lanes(const lut::LaneBins& bins) const {
+    return lut::interpolate(gauss_.data(), bins);
+  }
 
  private:
   Ad4Weights weights_;
@@ -144,6 +228,25 @@ class VinaPairTables {
         pair_.data() + static_cast<std::size_t>(lut::pair_index(ti, tj)) *
                            (lut::kEntries + 1),
         r2);
+  }
+
+  /// Base pointer of one pair's channel (hoist out of neighbour loops).
+  const double* row(mol::AdType ti, mol::AdType tj) const {
+    return pair_.data() + static_cast<std::size_t>(lut::pair_index(ti, tj)) *
+                              (lut::kEntries + 1);
+  }
+
+  /// Lane-batched pair term with per-lane row() pointers. Unlike the AD4
+  /// variant this accepts any non-negative r²: lanes at or beyond the
+  /// cutoff are clamped into the table domain and then masked to the
+  /// analytic zero, so neighbour-block tails can pad with kCutoffSq.
+  simd::f64x pair_energy_lanes(const double* const* rows,
+                               simd::f64x r2) const {
+    const simd::f64x cutoff(lut::kCutoffSq);
+    const simd::f64x inside = simd::less_than(r2, cutoff);
+    const lut::LaneBins bins = lut::lane_bins(simd::min(r2, cutoff));
+    return simd::blend(inside, lut::interpolate_rows(rows, bins),
+                       simd::f64x());
   }
 
  private:

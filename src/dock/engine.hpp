@@ -5,8 +5,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "dock/conformation.hpp"
 #include "dock/grid.hpp"
 #include "mol/geometry.hpp"
 #include "mol/prepare.hpp"
@@ -41,6 +43,40 @@ struct DockingResult {
   double mean_feb() const;
   double mean_rmsd() const;
 };
+
+/// Assemble scored Conformations from pre-computed batch outputs: one per
+/// pose, `run` set to the pose's index (engines batch the complete run/
+/// chain set in order). Non-template half of append_batch_conformations.
+std::vector<Conformation> build_conformations(
+    std::vector<std::vector<mol::Vec3>>&& coords,
+    const std::vector<double>& inter, const std::vector<double>& intra,
+    const std::vector<double>& febs,
+    const std::vector<mol::Vec3>& input_coords);
+
+/// Score the winning poses of all runs/chains through the model's batched
+/// SoA/SIMD path (one score_batch call instead of 2N scalar evaluations)
+/// and append one Conformation per pose to `out`. `Model` is an energy
+/// model exposing score_batch / coords_for / feb (Ad4EnergyModel,
+/// VinaEnergyModel).
+template <typename Model>
+void append_batch_conformations(const Model& model,
+                                const std::vector<DockPose>& poses,
+                                const std::vector<mol::Vec3>& input_coords,
+                                std::vector<Conformation>& out) {
+  if (poses.empty()) return;
+  std::vector<double> inter, intra;
+  model.score_batch(poses, &inter, &intra);
+  std::vector<std::vector<mol::Vec3>> coords;
+  coords.reserve(poses.size());
+  std::vector<double> febs(poses.size());
+  for (std::size_t p = 0; p < poses.size(); ++p) {
+    coords.push_back(model.coords_for(poses[p]));
+    febs[p] = model.feb(inter[p]);
+  }
+  std::vector<Conformation> confs = build_conformations(
+      std::move(coords), inter, intra, febs, input_coords);
+  for (Conformation& c : confs) out.push_back(std::move(c));
+}
 
 /// Interface shared by the AD4 and Vina engines.
 class DockingEngine {

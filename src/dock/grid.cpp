@@ -68,6 +68,60 @@ TrilinearSampler::TrilinearSampler(const GridBox& box, const mol::Vec3& p) {
   in_box_ = true;
 }
 
+TrilinearSamplerLanes::TrilinearSamplerLanes(const GridBox& box,
+                                             const double* xs,
+                                             const double* ys,
+                                             const double* zs) {
+  SCIDOCK_ASSERT(box.npts[0] >= 2 && box.npts[1] >= 2 && box.npts[2] >= 2);
+  constexpr int W = simd::f64x::kWidth;
+  const mol::Vec3 o = box.origin();
+  const simd::f64x spacing(box.spacing);
+  // Same division as the scalar sampler: per-lane IEEE division keeps the
+  // in/out-of-box boundary decisions bit-identical to TrilinearSampler.
+  const simd::f64x fx = (simd::f64x::load(xs) - simd::f64x(o.x)) / spacing;
+  const simd::f64x fy = (simd::f64x::load(ys) - simd::f64x(o.y)) / spacing;
+  const simd::f64x fz = (simd::f64x::load(zs) - simd::f64x(o.z)) / spacing;
+
+  sy_ = static_cast<std::size_t>(box.npts[0]);
+  sz_ = sy_ * static_cast<std::size_t>(box.npts[1]);
+
+  alignas(64) double fxa[W], fya[W], fza[W];
+  fx.store(fxa);
+  fy.store(fya);
+  fz.store(fza);
+  alignas(64) double txa[W], tya[W], tza[W], mask[W];
+  bool all_in = true;
+  for (int l = 0; l < W; ++l) {
+    const bool in = !(fxa[l] < 0 || fya[l] < 0 || fza[l] < 0 ||
+                      fxa[l] > box.npts[0] - 1 || fya[l] > box.npts[1] - 1 ||
+                      fza[l] > box.npts[2] - 1);
+    mask[l] = simd::mask_value(in);
+    if (!in) {
+      // Out-of-box lane: read cell 0 with zero weights (valid memory, no
+      // branches in apply); the mask blends the penalty in afterwards.
+      base_[l] = 0;
+      txa[l] = tya[l] = tza[l] = 0.0;
+      all_in = false;
+      continue;
+    }
+    const int ix = std::min(static_cast<int>(fxa[l]), box.npts[0] - 2);
+    const int iy = std::min(static_cast<int>(fya[l]), box.npts[1] - 2);
+    const int iz = std::min(static_cast<int>(fza[l]), box.npts[2] - 2);
+    txa[l] = fxa[l] - ix;
+    tya[l] = fya[l] - iy;
+    tza[l] = fza[l] - iz;
+    base_[l] = static_cast<std::size_t>(ix) +
+               sy_ * static_cast<std::size_t>(iy) +
+               sz_ * static_cast<std::size_t>(iz);
+    any_in_box_ = true;
+  }
+  tx_ = simd::f64x::load(txa);
+  ty_ = simd::f64x::load(tya);
+  tz_ = simd::f64x::load(tza);
+  in_mask_ = simd::f64x::load(mask);
+  all_in_box_ = all_in;
+}
+
 std::string GridMap::to_map_file() const {
   std::string out;
   out += "GRID_PARAMETER_FILE scidock.gpf\n";
@@ -115,7 +169,7 @@ GridMap GridMap::from_map_file(std::string_view text) {
     throw ParseError("map", strformat("expected %zu grid values, found %zu",
                                       map.values().size(), values.size()));
   }
-  map.values() = std::move(values);
+  map.values().assign(values.begin(), values.end());
   return map;
 }
 

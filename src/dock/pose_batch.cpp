@@ -1,0 +1,53 @@
+#include "dock/pose_batch.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace scidock::dock {
+
+void PoseBatch::resize(int poses, int atoms) {
+  SCIDOCK_ASSERT(poses > 0 && atoms > 0);
+  pose_count_ = poses;
+  atom_count_ = atoms;
+  lane_blocks_ = (poses + kLaneWidth - 1) / kLaneWidth;
+  const std::size_t n = static_cast<std::size_t>(lane_blocks_) *
+                        static_cast<std::size_t>(atoms) *
+                        static_cast<std::size_t>(kLaneWidth);
+  x_.resize(n);
+  y_.resize(n);
+  z_.resize(n);
+}
+
+void PoseBatch::set_pose(int pose, const std::vector<mol::Vec3>& coords) {
+  SCIDOCK_ASSERT(pose >= 0 && pose < pose_count_);
+  SCIDOCK_ASSERT(coords.size() == static_cast<std::size_t>(atom_count_));
+  const int block = pose / kLaneWidth;
+  const int lane = pose % kLaneWidth;
+  for (int a = 0; a < atom_count_; ++a) {
+    const std::size_t off = plane_offset(block, a) +
+                            static_cast<std::size_t>(lane);
+    x_[off] = coords[static_cast<std::size_t>(a)].x;
+    y_[off] = coords[static_cast<std::size_t>(a)].y;
+    z_[off] = coords[static_cast<std::size_t>(a)].z;
+  }
+}
+
+void PoseBatch::pad_tail() {
+  const int last = pose_count_ - 1;
+  const int block = last / kLaneWidth;
+  const int lane = last % kLaneWidth;
+  for (int pad = lane + 1; pad < kLaneWidth; ++pad) {
+    for (int a = 0; a < atom_count_; ++a) {
+      const std::size_t base = plane_offset(block, a);
+      x_[base + static_cast<std::size_t>(pad)] =
+          x_[base + static_cast<std::size_t>(lane)];
+      y_[base + static_cast<std::size_t>(pad)] =
+          y_[base + static_cast<std::size_t>(lane)];
+      z_[base + static_cast<std::size_t>(pad)] =
+          z_[base + static_cast<std::size_t>(lane)];
+    }
+  }
+}
+
+}  // namespace scidock::dock

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file pose_batch.hpp
+/// SoA pose batching for the docking inner loops (DESIGN.md §13).
+///
+/// The scalar hot path evaluates one pose and one atom at a time through
+/// std::vector<mol::Vec3> (AoS). A PoseBatch repacks the explicit atom
+/// coordinates of a group of poses into lane-blocked SoA planes:
+///
+///   plane(block, atom) -> [x of pose lane 0, x of pose lane 1, ...]
+///
+/// i.e. within one lane block (simd::f64x::kWidth poses), the same
+/// coordinate of the same atom across all poses is contiguous and
+/// cache-line aligned — exactly the layout the batched energy kernels
+/// (energy.hpp) load with one SIMD instruction. Pose counts that are not a
+/// multiple of the lane width pad the final block by replicating the last
+/// pose: padding lanes compute like any other lane (no branches, no NaNs
+/// leaking into masks) and callers simply ignore their results.
+
+#include <vector>
+
+#include "dock/conformation.hpp"
+#include "mol/geometry.hpp"
+#include "util/aligned.hpp"
+#include "util/simd.hpp"
+
+namespace scidock::dock {
+
+class PoseBatch {
+ public:
+  static constexpr int kLaneWidth = simd::f64x::kWidth;
+
+  PoseBatch() = default;
+
+  /// Shape the buffer for `poses` poses of `atoms` atoms each. Reuses
+  /// capacity across calls — engines keep one PoseBatch per generation.
+  void resize(int poses, int atoms);
+
+  /// Scatter one pose's explicit coordinates into the planes.
+  /// `coords.size()` must equal atom_count().
+  void set_pose(int pose, const std::vector<mol::Vec3>& coords);
+
+  /// Replicate the last real pose into the padding lanes of the final
+  /// block. Call once after the last set_pose and before evaluation.
+  void pad_tail();
+
+  int pose_count() const { return pose_count_; }
+  int atom_count() const { return atom_count_; }
+  int lane_blocks() const { return lane_blocks_; }
+
+  /// Lane plane of one coordinate of one atom in one block: kLaneWidth
+  /// contiguous, aligned doubles (one per pose lane).
+  const double* x_plane(int block, int atom) const {
+    return x_.data() + plane_offset(block, atom);
+  }
+  const double* y_plane(int block, int atom) const {
+    return y_.data() + plane_offset(block, atom);
+  }
+  const double* z_plane(int block, int atom) const {
+    return z_.data() + plane_offset(block, atom);
+  }
+
+  /// Number of real (non-padding) poses in `block`.
+  int lanes_in_block(int block) const {
+    const int remaining = pose_count_ - block * kLaneWidth;
+    return remaining < kLaneWidth ? remaining : kLaneWidth;
+  }
+
+ private:
+  std::size_t plane_offset(int block, int atom) const {
+    return (static_cast<std::size_t>(block) *
+                static_cast<std::size_t>(atom_count_) +
+            static_cast<std::size_t>(atom)) *
+           static_cast<std::size_t>(kLaneWidth);
+  }
+
+  int pose_count_ = 0;
+  int atom_count_ = 0;
+  int lane_blocks_ = 0;
+  util::aligned_vector<double> x_, y_, z_;
+};
+
+}  // namespace scidock::dock

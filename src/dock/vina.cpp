@@ -86,17 +86,16 @@ DockingResult VinaEngine::dock(const mol::PreparedReceptor& receptor,
   result.receptor_name = receptor.molecule.name();
   result.ligand_name = ligand.molecule.name();
   result.engine_name = name();
+  // Rescore every chain's best in one batched pass (run index = chain
+  // index, matching the order the chains were launched in).
+  std::vector<DockPose> best_poses;
+  best_poses.reserve(chains.size());
   for (std::size_t c = 0; c < chains.size(); ++c) {
-    Conformation conf;
-    conf.coords = model.coords_for(chains[c].pose);
-    conf.intermolecular = model.intermolecular(conf.coords);
-    conf.intramolecular = model.intramolecular(conf.coords);
-    conf.feb = model.feb(conf.intermolecular);
-    conf.rmsd_from_input = mol::rmsd(conf.coords, input_coords);
-    conf.run = static_cast<int>(c);
-    result.conformations.push_back(std::move(conf));
+    best_poses.push_back(chains[c].pose);
     result.energy_evaluations += chains[c].evaluations;
   }
+  append_batch_conformations(model, best_poses, input_coords,
+                             result.conformations);
 
   cluster_conformations(result.conformations, 2.0);
 

@@ -3,6 +3,10 @@
 //   - radial LUTs track the analytic scoring terms within a documented
 //     tolerance (and exactly reproduce clamp/cutoff behaviour);
 //   - fused trilinear sampling is bit-identical to per-map sampling;
+//   - the lane-parallel SIMD kernels (lane_bins/interpolate, batched
+//     pair terms, TrilinearSamplerLanes) match their scalar references
+//     per lane, and the batched pose evaluation (PoseBatch +
+//     evaluate_batch/score_batch) matches pose-at-a-time evaluation;
 //   - AutoGrid maps are bit-identical across thread counts;
 //   - the single-flight grid-map cache computes once per key, propagates
 //     exceptions, and leaves pipeline outputs (FEB/RMSD, map files)
@@ -22,6 +26,8 @@
 #include "data/generator.hpp"
 #include "data/table2.hpp"
 #include "dock/autogrid.hpp"
+#include "dock/conformation.hpp"
+#include "dock/energy.hpp"
 #include "dock/energy_lut.hpp"
 #include "dock/grid.hpp"
 #include "dock/scoring.hpp"
@@ -29,6 +35,7 @@
 #include "obs/obs.hpp"
 #include "scidock/experiment.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace scidock::dock {
@@ -157,6 +164,140 @@ TEST(TrilinearSampler, BitIdenticalToPerMapSample) {
   EXPECT_FALSE(outside.in_box());
 }
 
+// ---------------------------------------------------- lane-parallel kernels
+//
+// The SIMD kernels use the same interpolation association as the scalar
+// path (a + (b - a) * t, no FMA), so on the portable build every lane is
+// bit-equal to the scalar reference. The bounds below leave headroom for
+// FMA contraction under -march=native builds only.
+
+constexpr int kLanes = simd::f64x::kWidth;
+
+void expect_lane_near(double lane, double scalar, const char* what, int l) {
+  EXPECT_NEAR(lane, scalar, 1e-10 * (1.0 + std::abs(scalar)))
+      << what << " lane " << l;
+}
+
+TEST(SimdKernels, LaneBinsInterpolateMatchesScalar) {
+  // A synthetic channel with curvature so interpolation actually blends.
+  std::vector<double> samples(lut::kEntries + 1);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double x = static_cast<double>(i) / lut::kEntries;
+    samples[i] = std::sin(7.0 * x) / (0.05 + x);
+  }
+  Rng rng(23);
+  for (int rep = 0; rep < 200; ++rep) {
+    double r2[kLanes];
+    for (double& v : r2) v = rng.uniform(0.0, lut::kCutoffSq);
+    if (rep == 0) {
+      r2[0] = 0.0;                  // first bin
+      r2[kLanes - 1] = lut::kCutoffSq;  // top-bin clamp lane
+    }
+    const lut::LaneBins bins = lut::lane_bins(simd::f64x::load(r2));
+    const simd::f64x shared = lut::interpolate(samples.data(), bins);
+    const double* rows[kLanes];
+    for (const double*& row : rows) row = samples.data();
+    const simd::f64x per_row = lut::interpolate_rows(rows, bins);
+    for (int l = 0; l < kLanes; ++l) {
+      const double scalar = lut::interpolate(samples.data(), r2[l]);
+      expect_lane_near(shared.lane(l), scalar, "shared-channel", l);
+      expect_lane_near(per_row.lane(l), scalar, "per-row", l);
+    }
+  }
+}
+
+TEST(SimdKernels, Ad4PairEnergyLanesMatchesScalarComposition) {
+  const Ad4Weights w;
+  const auto tables = Ad4PairTables::shared(w);
+  const AdType types[] = {AdType::C, AdType::OA, AdType::HD, AdType::N};
+  Rng rng(29);
+  for (int rep = 0; rep < 200; ++rep) {
+    const double* rows[kLanes];
+    double qq[kLanes], solv[kLanes], r2[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      const AdType ti = types[rng.below(4)];
+      const AdType tj = types[rng.below(4)];
+      rows[l] = tables->vdw_row(ti, tj);
+      qq[l] = rng.uniform(-0.2, 0.2);
+      solv[l] = rng.uniform(-0.05, 0.05);
+      r2[l] = rng.uniform(0.0, lut::kCutoffSq);
+    }
+    const simd::f64x e = tables->pair_energy_lanes(
+        rows, simd::f64x::load(qq), simd::f64x::load(solv),
+        simd::f64x::load(r2));
+    for (int l = 0; l < kLanes; ++l) {
+      // Same hoisted factors fed through the scalar LUT kernels.
+      const double scalar = lut::interpolate(rows[l], r2[l]) +
+                            qq[l] * tables->coulomb_factor(r2[l]) +
+                            solv[l] * tables->desolv_gauss(r2[l]);
+      expect_lane_near(e.lane(l), scalar, "ad4 pair", l);
+    }
+  }
+}
+
+TEST(SimdKernels, VinaPairEnergyLanesMatchesScalarAndMasksCutoff) {
+  const VinaWeights w;
+  const auto tables = VinaPairTables::shared(w);
+  const AdType types[] = {AdType::C, AdType::A, AdType::OA, AdType::NA};
+  Rng rng(31);
+  for (int rep = 0; rep < 200; ++rep) {
+    const double* rows[kLanes];
+    AdType ti[kLanes], tj[kLanes];
+    double r2[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      ti[l] = types[rng.below(4)];
+      tj[l] = types[rng.below(4)];
+      rows[l] = tables->row(ti[l], tj[l]);
+      // Past-cutoff lanes (the neighbour-block tail padding) mixed in
+      // with in-domain ones: the kernel must mask them to exactly zero.
+      r2[l] = rng.uniform(0.0, 1.5 * lut::kCutoffSq);
+    }
+    if (rep == 0) r2[0] = lut::kCutoffSq;  // boundary is already outside
+    const simd::f64x e = tables->pair_energy_lanes(rows, simd::f64x::load(r2));
+    for (int l = 0; l < kLanes; ++l) {
+      const double scalar = tables->pair_energy(ti[l], tj[l], r2[l]);
+      if (r2[l] >= lut::kCutoffSq) {
+        EXPECT_EQ(e.lane(l), 0.0) << "lane " << l;
+      } else {
+        expect_lane_near(e.lane(l), scalar, "vina pair", l);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, TrilinearSamplerLanesMatchesScalarSampler) {
+  const GridBox box = GridBox::around({1.0, -2.0, 3.0}, 6.0, 0.5);
+  Rng rng(37);
+  GridMap a(box, "A"), b(box, "e");
+  for (auto* m : {&a, &b}) {
+    for (double& v : m->values()) v = rng.uniform(-10.0, 10.0);
+  }
+  for (int rep = 0; rep < 200; ++rep) {
+    double xs[kLanes], ys[kLanes], zs[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      xs[l] = rng.uniform(-3.0, 5.0);
+      ys[l] = rng.uniform(-6.0, 2.0);
+      zs[l] = rng.uniform(-1.0, 7.0);
+    }
+    if (rep % 3 == 0) xs[kLanes - 1] = 100.0;  // out-of-box penalty lane
+    const TrilinearSamplerLanes lanes(box, xs, ys, zs);
+    const simd::f64x va = lanes.apply(a);
+    const simd::f64x vb = lanes.apply(b);
+    for (int l = 0; l < kLanes; ++l) {
+      const TrilinearSampler scalar(box, {xs[l], ys[l], zs[l]});
+      if (!scalar.in_box()) {
+        EXPECT_EQ(va.lane(l), GridMap::kOutOfBoxPenalty) << "lane " << l;
+        EXPECT_EQ(vb.lane(l), GridMap::kOutOfBoxPenalty) << "lane " << l;
+        continue;
+      }
+      // The lane ctor reproduces the scalar boundary decisions and weight
+      // computation exactly, so in-box lanes are bit-equal per map.
+      EXPECT_DOUBLE_EQ(va.lane(l), scalar.apply(a)) << "lane " << l;
+      EXPECT_DOUBLE_EQ(vb.lane(l), scalar.apply(b)) << "lane " << l;
+    }
+  }
+}
+
 // ------------------------------------------------------ parallel AutoGrid
 
 data::GeneratorOptions tiny() {
@@ -210,6 +351,107 @@ TEST(ParallelAutogrid, SlabObserverFiresOncePerSlab) {
   calc.calculate(box, {AdType::C}, &pool);
   EXPECT_EQ(slabs.load(), box.npts[2]);
   EXPECT_FALSE(negative.load());
+}
+
+// --------------------------------------------------- batched pose scoring
+
+/// Random poses over the model box, with a couple translated far outside
+/// so the out-of-box penalty lanes are exercised, and an odd count so the
+/// PoseBatch tail padding is exercised.
+template <typename Model>
+std::vector<DockPose> make_poses(const GridBox& box, const Model& model,
+                                 int torsion_count, int n, Rng& rng) {
+  std::vector<DockPose> poses;
+  for (int i = 0; i < n; ++i) {
+    poses.push_back(
+        DockPose::random(box, model.reference_center(), torsion_count, rng));
+  }
+  poses[static_cast<std::size_t>(n) - 1].rigid.translation +=
+      mol::Vec3{300.0, 0.0, 0.0};
+  return poses;
+}
+
+TEST(BatchedScoring, Ad4EvaluateBatchMatchesPoseAtATime) {
+  const auto opts = tiny();
+  const mol::PreparedReceptor rec =
+      mol::prepare_receptor(data::make_receptor("1AIM", opts));
+  const mol::PreparedLigand lig =
+      mol::prepare_ligand(data::make_ligand("042", opts));
+  const GridBox box = GridBox::around(rec.molecule.center(), 9.0, 0.75);
+  GridMapCalculator calc(rec.molecule);
+  mol::Molecule typed = lig.molecule;
+  typed.perceive();
+  const GridMapSet maps = calc.calculate(box, typed.ad_types_present());
+  const Ad4EnergyModel model(maps, lig);
+  Rng rng(41);
+  // Odd, non-lane-multiple counts: 1 (all-padding block), 7 and W+1.
+  for (int n : {1, 7, simd::f64x::kWidth + 1}) {
+    const auto poses =
+        make_poses(box, model, lig.torsions.torsion_count(), n, rng);
+    const auto batched = model.evaluate_batch(poses);
+    ASSERT_EQ(batched.size(), poses.size());
+    std::vector<double> inter, intra;
+    model.score_batch(poses, &inter, &intra);
+    for (std::size_t p = 0; p < poses.size(); ++p) {
+      const auto coords = model.coords_for(poses[p]);
+      const double scalar_inter = model.intermolecular(coords);
+      const double scalar_intra = model.intramolecular(coords);
+      EXPECT_TRUE(within_tolerance(batched[p], scalar_inter + scalar_intra))
+          << "pose " << p << " of " << n << ": batched=" << batched[p]
+          << " scalar=" << scalar_inter + scalar_intra;
+      EXPECT_TRUE(within_tolerance(inter[p], scalar_inter)) << "pose " << p;
+      EXPECT_TRUE(within_tolerance(intra[p], scalar_intra)) << "pose " << p;
+      // operator() must agree with its batched counterpart too.
+      EXPECT_TRUE(within_tolerance(batched[p], model(poses[p])));
+    }
+  }
+}
+
+TEST(BatchedScoring, VinaEvaluateBatchMatchesPoseAtATime) {
+  const auto opts = tiny();
+  const mol::PreparedReceptor rec =
+      mol::prepare_receptor(data::make_receptor("1AIM", opts));
+  const mol::PreparedLigand lig =
+      mol::prepare_ligand(data::make_ligand("074", opts));
+  const GridBox box = GridBox::around(rec.molecule.center(), 9.0, 0.75);
+  const VinaEnergyModel model(rec, lig, box);
+  Rng rng(43);
+  for (int n : {1, 7, simd::f64x::kWidth + 1}) {
+    const auto poses =
+        make_poses(box, model, lig.torsions.torsion_count(), n, rng);
+    const auto batched = model.evaluate_batch(poses);
+    ASSERT_EQ(batched.size(), poses.size());
+    std::vector<double> inter, intra;
+    model.score_batch(poses, &inter, &intra);
+    for (std::size_t p = 0; p < poses.size(); ++p) {
+      const auto coords = model.coords_for(poses[p]);
+      EXPECT_TRUE(within_tolerance(inter[p], model.intermolecular(coords)))
+          << "pose " << p;
+      EXPECT_TRUE(within_tolerance(intra[p], model.intramolecular(coords)))
+          << "pose " << p;
+      EXPECT_TRUE(within_tolerance(batched[p], model(poses[p])))
+          << "pose " << p << " of " << n;
+    }
+  }
+}
+
+TEST(BatchedScoring, EvaluationCountingMatchesScalarDiscipline) {
+  const auto opts = tiny();
+  const mol::PreparedReceptor rec =
+      mol::prepare_receptor(data::make_receptor("1AIM", opts));
+  const mol::PreparedLigand lig =
+      mol::prepare_ligand(data::make_ligand("0E6", opts));
+  const GridBox box = GridBox::around(rec.molecule.center(), 9.0, 0.75);
+  const VinaEnergyModel model(rec, lig, box);
+  Rng rng(47);
+  const auto poses =
+      make_poses(box, model, lig.torsions.torsion_count(), 5, rng);
+  EXPECT_EQ(model.evaluations(), 0);
+  model.evaluate_batch(poses);  // search path: one count per pose
+  EXPECT_EQ(model.evaluations(), 5);
+  std::vector<double> inter, intra;
+  model.score_batch(poses, &inter, &intra);  // reporting path: no counts
+  EXPECT_EQ(model.evaluations(), 5);
 }
 
 // ----------------------------------------------------- screening GPF
