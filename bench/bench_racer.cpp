@@ -1,0 +1,165 @@
+// Racer overhead gate: the full native screen (default 10 receptors x
+// 42 ligands, the paper's Table 2 dataset) with the happens-before race
+// analyzer enabled must stay within SCIDOCK_RACER_MAX_OVERHEAD_PCT
+// (default 10%) of the baseline — the design goal that race checking is
+// cheap enough to run on every CI sweep (DESIGN.md §14). The budget is
+// double lockdep's 5%: every tracked access pays a shadow-state check,
+// not just every lock acquisition.
+//
+// The baseline uses the analyzer's runtime kill-switch
+// (racer::set_enabled(false)): both runs execute the *same binary*, so
+// the comparison isolates the vector-clock bookkeeping, not codegen
+// differences. In builds without -DSCIDOCK_RACER=ON the two modes are
+// byte-identical no-ops; the bench still runs (harness bit-rot check),
+// records compiled_in=false and skips the gate.
+//
+// Knobs: SCIDOCK_RACER_RECEPTORS / _LIGANDS / _THREADS / _REPS and
+// _MAX_OVERHEAD_PCT. The minimum wall time over reps is used — it
+// cancels scheduler noise better than the mean on shared CI machines.
+//
+// Writes BENCH_racer.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/table2.hpp"
+#include "scidock/experiment.hpp"
+#include "util/racer.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace scidock;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::string> take(const std::vector<std::string>& all, int n) {
+  const std::size_t count =
+      std::min(all.size(), static_cast<std::size_t>(std::max(n, 1)));
+  return {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+/// One full native screen over a freshly staged experiment (fresh VFS and
+/// grid-map cache each time, so neither mode inherits the other's warm
+/// caches). Returns (wall seconds, output rows).
+std::pair<double, std::size_t> run_screen(
+    const std::vector<std::string>& receptors,
+    const std::vector<std::string>& ligands, int threads) {
+  core::Experiment exp = core::make_experiment(receptors, ligands, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const wf::NativeReport report = core::run_native(exp, threads);
+  return {wall_seconds_since(t0), report.output.size()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("SciDock bench: racer overhead",
+                      "design goal: race checking cheap enough to leave on");
+
+  const int n_receptors = bench::env_int("SCIDOCK_RACER_RECEPTORS", 10);
+  const int n_ligands = bench::env_int("SCIDOCK_RACER_LIGANDS", 42);
+  const int threads = bench::env_int("SCIDOCK_RACER_THREADS", 4);
+  const int reps = bench::env_int("SCIDOCK_RACER_REPS", 3);
+  const int max_overhead_pct =
+      bench::env_int("SCIDOCK_RACER_MAX_OVERHEAD_PCT", 10);
+  const std::vector<std::string> receptors =
+      take(data::table2_receptors(), n_receptors);
+  const std::vector<std::string> ligands = take(data::table2_ligands(),
+                                                n_ligands);
+  std::printf("workload: %zu receptors x %zu ligands, %d threads, %d reps, "
+              "gate < %d%%, analyzer %s\n\n",
+              receptors.size(), ligands.size(), threads, reps,
+              max_overhead_pct,
+              racer::compiled_in() ? "compiled in" : "compiled out");
+
+  double wall_off = 0.0;
+  double wall_on = 0.0;
+  std::size_t rows_off = 0;
+  std::size_t rows_on = 0;
+  std::printf("%4s | %12s | %12s\n", "rep", "wall off", "wall on");
+  std::printf("-----+--------------+-------------\n");
+  for (int rep = 0; rep < reps; ++rep) {
+    racer::set_enabled(false);
+    const auto [off_s, off_rows] = run_screen(receptors, ligands, threads);
+    racer::set_enabled(true);
+    const auto [on_s, on_rows] = run_screen(receptors, ligands, threads);
+    wall_off = rep == 0 ? off_s : std::min(wall_off, off_s);
+    wall_on = rep == 0 ? on_s : std::min(wall_on, on_s);
+    rows_off = off_rows;
+    rows_on = on_rows;
+    std::printf("%4d | %11.3fs | %11.3fs\n", rep, off_s, on_s);
+  }
+
+  if (rows_on != rows_off || rows_on == 0) {
+    std::fprintf(stderr,
+                 "FAIL: modes disagree on the screen itself (%zu vs %zu "
+                 "output rows)\n",
+                 rows_off, rows_on);
+    return 1;
+  }
+  // The instrumented runs must also end race-free: ANY error-severity
+  // finding here is a genuine concurrency regression in the product.
+  if (!racer::clean()) {
+    std::fprintf(stderr, "FAIL: racer found races during the bench:\n%s",
+                 racer::format_report().c_str());
+    return 1;
+  }
+
+  const racer::CounterSnapshot counters = racer::counters();
+  const double overhead_pct =
+      wall_off > 0.0 ? 100.0 * (wall_on - wall_off) / wall_off : 0.0;
+  std::printf("\n%lld reads + %lld writes checked over %lld cells, "
+              "%lld mutex + %lld task + %lld hb edges, %lld reduction "
+              "records, %lld warnings; overhead %.2f%% (gate < %d%%)\n",
+              counters.reads, counters.writes, counters.cells,
+              counters.mutex_edges, counters.task_edges, counters.hb_edges,
+              counters.reduction_records, counters.findings_warning,
+              overhead_pct, max_overhead_pct);
+
+  const std::string path = bench::write_bench_json(
+      "racer",
+      {
+          {"compiled_in", racer::compiled_in() ? "true" : "false"},
+          {"receptors", strformat("%zu", receptors.size())},
+          {"ligands", strformat("%zu", ligands.size())},
+          {"threads", strformat("%d", threads)},
+          {"reps", strformat("%d", reps)},
+          {"output_rows", strformat("%zu", rows_on)},
+          {"wall_off_s", strformat("%.4f", wall_off)},
+          {"wall_on_s", strformat("%.4f", wall_on)},
+          {"cells", strformat("%lld", counters.cells)},
+          {"reads", strformat("%lld", counters.reads)},
+          {"writes", strformat("%lld", counters.writes)},
+          {"mutex_edges", strformat("%lld", counters.mutex_edges)},
+          {"task_edges", strformat("%lld", counters.task_edges)},
+          {"hb_edges", strformat("%lld", counters.hb_edges)},
+          {"reduction_records", strformat("%lld", counters.reduction_records)},
+          {"findings_error", strformat("%lld", counters.findings_error)},
+          {"findings_warning", strformat("%lld", counters.findings_warning)},
+          {"racer_overhead_pct", strformat("%.3f", overhead_pct)},
+          {"overhead_gate_pct", strformat("%d", max_overhead_pct)},
+      });
+  if (path.empty()) return 1;
+  std::printf("wrote %s\n", path.c_str());
+
+  if (!racer::compiled_in()) {
+    std::printf("racer compiled out: overhead gate skipped "
+                "(both modes ran the same code)\n");
+    return 0;
+  }
+  if (overhead_pct >= static_cast<double>(max_overhead_pct)) {
+    std::fprintf(stderr, "FAIL: racer overhead %.2f%% >= %d%%\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "util/lockdep.hpp"
+#include "util/racer.hpp"
 #include "util/strings.hpp"
 
 namespace scidock::chaos {
@@ -509,6 +510,21 @@ bool InvariantChecker::check_lockdep() {
     // rule_id returns a view of a string literal, so .data() is
     // NUL-terminated.
     ok = fail(strformat("lockdep %s: %s\n%s", lockdep::rule_id(f.kind).data(),
+                        f.message.c_str(), f.details.c_str())) &&
+         ok;
+  }
+  return ok;
+}
+
+bool InvariantChecker::check_racer() {
+  if (!racer::compiled_in()) return true;
+  if (racer::clean()) return true;
+  // One violation per error report, each carrying both access sites and
+  // the missing-edge diagnosis the analyzer assembled.
+  bool ok = true;
+  for (const racer::Finding& f : racer::findings()) {
+    if (!f.is_error) continue;
+    ok = fail(strformat("racer %s: %s\n%s", racer::rule_id(f.kind).data(),
                         f.message.c_str(), f.details.c_str())) &&
          ok;
   }

@@ -98,6 +98,15 @@ class InvariantChecker {
   /// Trivially true when the analyzer is compiled out.
   bool check_lockdep();
 
+  /// Invariant (f), race freedom: the happens-before race analyzer
+  /// (util/racer, DESIGN.md §14) recorded no error-severity report — no
+  /// RC001/RC002 data race, RC003 unsynchronized publish or RC004 keyed
+  /// reduction divergence — over everything executed so far in this
+  /// process. Warnings (order-digest-only divergence, i.e. floating-
+  /// point summation order) are reported in the violation text but
+  /// tolerated. Trivially true when the analyzer is compiled out.
+  bool check_racer();
+
   bool ok() const { return violations_.empty(); }
   const std::vector<std::string>& violations() const { return violations_; }
   /// All violations joined for test failure messages.

@@ -76,7 +76,7 @@ std::shared_ptr<const Ad4PairTables> Ad4PairTables::shared(
     const Ad4Weights& weights) {
   static Mutex mutex{"dock.lut.ad4"};
   static std::vector<std::pair<Ad4Weights, std::shared_ptr<const Ad4PairTables>>>
-      cache;
+      cache SCIDOCK_GUARDED_BY(mutex);
   MutexLock lock(mutex);
   for (const auto& [w, tables] : cache) {
     if (same_weights(w, weights)) return tables;
@@ -109,7 +109,7 @@ std::shared_ptr<const VinaPairTables> VinaPairTables::shared(
     const VinaWeights& weights) {
   static Mutex mutex{"dock.lut.vina"};
   static std::vector<std::pair<VinaWeights, std::shared_ptr<const VinaPairTables>>>
-      cache;
+      cache SCIDOCK_GUARDED_BY(mutex);
   MutexLock lock(mutex);
   for (const auto& [w, tables] : cache) {
     if (same_weights(w, weights)) return tables;

@@ -106,6 +106,19 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"LD003", "blocking wait while holding a lock (CondVar::wait or an "
                 "annotated wait entered with unrelated locks held)"},
       {"LD004", "long hold (a lock held past the configured threshold)"},
+      {"LD005", "duplicate lock-class name (the same Mutex name registered "
+                "from two declaration sites, which would merge unrelated "
+                "order graphs)"},
+      // ---- runtime happens-before findings (util/racer bridge) ----
+      {"RC001", "write-write race (two writes to a tracked cell with no "
+                "happens-before edge between them)"},
+      {"RC002", "read-write race (a read and a write to a tracked cell "
+                "with no happens-before edge between them)"},
+      {"RC003", "unsynchronized publish (first cross-thread access to a "
+                "tracked cell arrives with no ordering edge from its "
+                "construction)"},
+      {"RC004", "order-nondeterminism (a named reduction produced "
+                "different per-key digests across runs or thread counts)"},
   };
   return catalog;
 }

@@ -3,7 +3,7 @@
 /// \file lockdep_lint.hpp
 /// Bridge from the runtime lock-order analyzer (util/lockdep) into the
 /// scidock-lint diagnostic machinery: each hazard finding becomes a
-/// Diagnostic with a stable LD rule ID (LD001..LD004, see
+/// Diagnostic with a stable LD rule ID (LD001..LD005, see
 /// lint::rule_catalog()), so CI gates, the CLI's --lockdep-report and the
 /// fixture tests all speak the same format as the static rules.
 

@@ -1,0 +1,24 @@
+#include "lint/racer_lint.hpp"
+
+#include <string>
+
+#include "util/racer.hpp"
+
+namespace scidock::lint {
+
+Report racer_report() {
+  Report report;
+  for (const racer::Finding& f : racer::findings()) {
+    std::string message = f.message;
+    if (!f.details.empty()) {
+      message += "\n";
+      message += f.details;
+    }
+    report.add(std::string(racer::rule_id(f.kind)),
+               f.is_error ? Severity::Error : Severity::Warning, f.file,
+               f.line, std::move(message));
+  }
+  return report;
+}
+
+}  // namespace scidock::lint

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file racer_lint.hpp
+/// Bridge from the happens-before race analyzer (util/racer) into the
+/// scidock-lint diagnostic machinery: each race report becomes a
+/// Diagnostic with a stable RC rule ID (RC001..RC004, see
+/// lint::rule_catalog()), so CI gates, the CLI's --racer-report and the
+/// fixture tests all speak the same format as the static rules.
+
+#include "lint/diagnostics.hpp"
+
+namespace scidock::lint {
+
+/// Convert every report the analyzer has accumulated so far into a
+/// Report (empty when racer is compiled out or found nothing). The
+/// multi-line both-sites/missing-edge evidence is appended to each
+/// message so a formatted diagnostic is self-contained.
+Report racer_report();
+
+}  // namespace scidock::lint

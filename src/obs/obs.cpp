@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/lockdep.hpp"
+#include "util/racer.hpp"
 
 namespace scidock::obs {
 
@@ -30,6 +31,33 @@ void publish_lockdep_metrics(MetricsRegistry& registry) {
   publish(kLockdepFindingsError, "error-severity hazard findings",
           snap.findings_error);
   publish(kLockdepFindingsWarning, "warning-severity hazard findings",
+          snap.findings_warning);
+}
+
+void publish_racer_metrics(MetricsRegistry& registry) {
+  if (!racer::compiled_in()) return;
+  const racer::CounterSnapshot snap = racer::counters();
+  registry.gauge(kRacerThreads, "threads with a racer vector-clock slot")
+      .set(static_cast<double>(snap.threads));
+  registry.gauge(kRacerSyncObjects, "registered named sync objects")
+      .set(static_cast<double>(snap.sync_objects));
+  registry.gauge(kRacerTrackedCells, "shadow-tracked cells (ever seen)")
+      .set(static_cast<double>(snap.cells));
+  const auto publish = [&registry](const char* name, const char* help,
+                                   long long value) {
+    Counter& c = registry.counter(name, help);
+    c.inc(value - c.value());  // delta: repeated publishes stay monotone
+  };
+  publish(kRacerReads, "instrumented shadow-cell reads", snap.reads);
+  publish(kRacerWrites, "instrumented shadow-cell writes", snap.writes);
+  publish(kRacerMutexEdges, "mutex release->acquire joins", snap.mutex_edges);
+  publish(kRacerTaskEdges, "task fork/finish/join edges", snap.task_edges);
+  publish(kRacerHbEdges, "explicit publish handshake edges", snap.hb_edges);
+  publish(kRacerReductionRecords, "reduction digest records",
+          snap.reduction_records);
+  publish(kRacerFindingsError, "error-severity race findings",
+          snap.findings_error);
+  publish(kRacerFindingsWarning, "warning-severity race findings",
           snap.findings_warning);
 }
 
@@ -90,6 +118,18 @@ const std::vector<std::string_view>& known_metric_names() {
       "scidock_prov_wal_records_total",
       "scidock_prov_wal_rotations_total",
       "scidock_prov_workflow_rows_total",
+      // racer analyzer
+      kRacerFindingsError,
+      kRacerFindingsWarning,
+      kRacerHbEdges,
+      kRacerMutexEdges,
+      kRacerReads,
+      kRacerReductionRecords,
+      kRacerSyncObjects,
+      kRacerTaskEdges,
+      kRacerThreads,
+      kRacerTrackedCells,
+      kRacerWrites,
       // simulated scheduler
       "scidock_sched_mean_queue_length",
       "scidock_sched_overhead_seconds",

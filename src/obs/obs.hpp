@@ -96,6 +96,33 @@ inline constexpr const char* kLockdepFindingsWarning =
 /// the analyzer is compiled out.
 void publish_lockdep_metrics(MetricsRegistry& registry);
 
+// ---- racer analyzer series (DESIGN.md §14) ----
+// Published from the util/racer counter snapshot by
+// publish_racer_metrics(); all zero (and absent) when the analyzer is
+// compiled out (SCIDOCK_RACER=OFF).
+inline constexpr const char* kRacerThreads = "scidock_racer_threads";
+inline constexpr const char* kRacerSyncObjects = "scidock_racer_sync_objects";
+inline constexpr const char* kRacerTrackedCells =
+    "scidock_racer_tracked_cells";
+inline constexpr const char* kRacerReads = "scidock_racer_reads_total";
+inline constexpr const char* kRacerWrites = "scidock_racer_writes_total";
+inline constexpr const char* kRacerMutexEdges =
+    "scidock_racer_mutex_edges_total";
+inline constexpr const char* kRacerTaskEdges =
+    "scidock_racer_task_edges_total";
+inline constexpr const char* kRacerHbEdges = "scidock_racer_hb_edges_total";
+inline constexpr const char* kRacerReductionRecords =
+    "scidock_racer_reduction_records_total";
+inline constexpr const char* kRacerFindingsError =
+    "scidock_racer_findings_error_total";
+inline constexpr const char* kRacerFindingsWarning =
+    "scidock_racer_findings_warning_total";
+
+/// Mirror the racer's internal counters into `registry` (threads /
+/// sync-objects / cells are gauges, the rest delta-published counters,
+/// same contract as publish_lockdep_metrics). No-op when compiled out.
+void publish_racer_metrics(MetricsRegistry& registry);
+
 /// Every canonical scidock_* series name the codebase registers, sorted.
 /// The lint SQL008 rule validates `-- reconciles: <metric>` annotations in
 /// shipped queries against this list, so keep it in sync when adding a

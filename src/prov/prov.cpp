@@ -172,7 +172,9 @@ ProvenanceStore::~ProvenanceStore() {
     }
     flusher_cv_.notify_one();
     flusher_.join();
+    racer::on_task_join(flusher_edge_);
   }
+  for (const auto& shard : shards_) SCIDOCK_RACER_UNTRACK(shard->writer);
 }
 
 ProvenanceStore::Shard& ProvenanceStore::fact_shard(long long taskid) {
@@ -275,6 +277,7 @@ void ProvenanceStore::log_record(Shard& shard, const WalRecord& r) {
     return;
   }
   // Synchronous mode: the record is durable before the call returns.
+  SCIDOCK_RACER_WRITE(shard.writer);
   const std::size_t rotations_before = shard.writer->rotations();
   try {
     shard.writer->append(frame, 0.0);
@@ -727,6 +730,10 @@ void ProvenanceStore::recover() {
     }
     shard.writer = std::make_unique<wal::SegmentWriter>(
         fs, shard_dir(k), options_.segment_max_bytes, replay.next_index);
+    // Shadow-track the writer so racer can prove the documented
+    // discipline: flusher thread (group commit) or under shard.mutex
+    // (synchronous mode), never both.
+    SCIDOCK_RACER_TRACK(shard.writer, "prov.shard.writer");
   }
   // Dimension records are logged by shard 0 only; replicate its replayed
   // copies into the other shards so per-shard joins stay complete.
@@ -778,10 +785,12 @@ void ProvenanceStore::prune_orphans() {
 }
 
 void ProvenanceStore::start_flusher() {
+  flusher_edge_ = racer::on_task_spawn();
   flusher_ = std::thread([this] { flusher_main(); });
 }
 
 void ProvenanceStore::flusher_main() {
+  racer::TaskRun racer_run(flusher_edge_);
   const auto interval =
       std::chrono::milliseconds(std::max(options_.group_commit_interval_ms, 1));
   for (;;) {
@@ -851,6 +860,7 @@ bool ProvenanceStore::commit_once() {
   try {
     for (std::size_t k = 0; k < n; ++k) {
       if (batches[k].empty()) continue;
+      SCIDOCK_RACER_WRITE(shards_[k]->writer);
       const std::size_t before = shards_[k]->writer->rotations();
       shards_[k]->writer->append(batches[k], 0.0);
       rotated += static_cast<long long>(shards_[k]->writer->rotations() - before);

@@ -1,6 +1,7 @@
 #include "scidock/scidock.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <tuple>
 #include <unordered_map>
@@ -73,6 +74,8 @@ ArtifactCache::get_or_compute_maps(
   std::shared_future<MapsPtr> future;
   std::shared_ptr<std::promise<MapsPtr>> owner;
   CacheOutcome outcome = CacheOutcome::kMiss;
+  /// Racer HB id for the flight handoff: the promise the owner fulfils.
+  const void* flight_sync = nullptr;
 #if SCIDOCK_LOCKDEP_ENABLED
   const void* flight_owner_pool = nullptr;
 #endif
@@ -81,6 +84,7 @@ ArtifactCache::get_or_compute_maps(
     const auto it = map_flights_.find(key);
     if (it != map_flights_.end()) {
       future = it->second.future;
+      flight_sync = it->second.promise.get();
       outcome = future.wait_for(std::chrono::seconds(0)) ==
                         std::future_status::ready
                     ? CacheOutcome::kHit
@@ -92,6 +96,7 @@ ArtifactCache::get_or_compute_maps(
       owner = std::make_shared<std::promise<MapsPtr>>();
       MapFlight flight{owner, owner->get_future().share()};
       future = flight.future;
+      flight_sync = owner.get();
 #if SCIDOCK_LOCKDEP_ENABLED
       // Remember which pool (if any) the owner is a worker of, so a
       // concurrent waiter from the same pool can be flagged (LD002).
@@ -102,7 +107,11 @@ ArtifactCache::get_or_compute_maps(
   }
   if (owner) {
     try {
-      owner->set_value(std::make_shared<const dock::GridMapSet>(compute()));
+      auto maps = std::make_shared<const dock::GridMapSet>(compute());
+      // Everything compute() wrote happens-before any waiter that gets
+      // the future: release on the promise, acquire after future.get().
+      racer::on_hb_release(flight_sync, "scidock.gridmaps.single_flight");
+      owner->set_value(std::move(maps));
     } catch (...) {
       // Waiters already holding the future see the exception; erasing the
       // flight lets the executor's retry (or a later tuple) recompute.
@@ -119,7 +128,11 @@ ArtifactCache::get_or_compute_maps(
                               std::source_location::current());
   }
 #endif
-  return {future.get(), outcome};  // blocks inflight waiters; rethrows
+  MapsPtr result = future.get();  // blocks inflight waiters; rethrows
+  if (!owner) {
+    racer::on_hb_acquire(flight_sync, "scidock.gridmaps.single_flight");
+  }
+  return {std::move(result), outcome};
 }
 
 std::shared_ptr<ArtifactCache> make_artifact_cache() {
@@ -450,6 +463,14 @@ wf::Pipeline build_scidock_pipeline(const ScidockOptions& opts,
         const double feb = result.empty() ? 0.0 : result.best().feb;
         // AD4's RMSD table is measured against the input reference frame.
         const double rmsd = result.mean_rmsd();
+        // Racer determinism digest: the per-pair score is a slot in the
+        // campaign-wide FEB reduction — any schedule- or thread-count-
+        // dependence in the bit pattern is an RC004 with this pair named.
+        racer::on_reduction("dock.score.feb",
+                            fnv1a64(in.require("pair")) ^ fnv1a64(kAutodock4),
+                            std::bit_cast<std::uint64_t>(feb) +
+                                0x9e3779b97f4a7c15ULL *
+                                    std::bit_cast<std::uint64_t>(rmsd));
         ctx.emit_value("FEB", feb, "kcal/mol");
         ctx.emit_value("RMSD", rmsd, "A");
         Tuple out = in;
@@ -499,6 +520,11 @@ wf::Pipeline build_scidock_pipeline(const ScidockOptions& opts,
           }
           rmsd /= static_cast<double>(result.conformations.size() - 1);
         }
+        racer::on_reduction("dock.score.feb",
+                            fnv1a64(in.require("pair")) ^ fnv1a64(kAutodockVina),
+                            std::bit_cast<std::uint64_t>(feb) +
+                                0x9e3779b97f4a7c15ULL *
+                                    std::bit_cast<std::uint64_t>(rmsd));
         ctx.emit_value("FEB", feb, "kcal/mol");
         ctx.emit_value("RMSD", rmsd, "A");
         Tuple out = in;

@@ -33,6 +33,7 @@
 #include "chaos/invariants.hpp"
 #include "data/table2.hpp"
 #include "lint/lockdep_lint.hpp"
+#include "lint/racer_lint.hpp"
 #include "dock/autodock4.hpp"
 #include "dock/dlg.hpp"
 #include "dock/vina.hpp"
@@ -41,6 +42,7 @@
 #include "scidock/analysis.hpp"
 #include "scidock/experiment.hpp"
 #include "util/lockdep.hpp"
+#include "util/racer.hpp"
 #include "util/strings.hpp"
 #include "vfs/vfs.hpp"
 #include "wf/relational.hpp"
@@ -64,7 +66,10 @@ int usage() {
                "  --metrics-out FILE  Prometheus text metrics\n"
                "  --lockdep-report    print the lock-discipline report after\n"
                "                      the run (needs -DSCIDOCK_LOCKDEP=ON;\n"
-               "                      exit 1 on any error-severity hazard)\n");
+               "                      exit 1 on any error-severity hazard)\n"
+               "  --racer-report      print the happens-before race report\n"
+               "                      after the run (needs -DSCIDOCK_RACER=ON;\n"
+               "                      exit 1 on any report)\n");
   return 2;
 }
 
@@ -98,6 +103,22 @@ int maybe_lockdep_report(const std::vector<std::string>& args,
   const lint::Report report = lint::lockdep_report();
   if (!report.clean()) std::printf("%s", report.format().c_str());
   return report.error_count() > 0 ? 1 : 0;
+}
+
+/// Print the racer report when --racer-report was passed; mirrors the
+/// analyzer counters into the metrics sink (if any) first so the
+/// scidock_racer_* series land in --metrics-out. Returns non-zero when
+/// the analyzer reported anything at all — a warning-severity report
+/// (order-digest divergence) still means the run was not proven
+/// deterministic, so the gate is stricter than the lockdep one.
+int maybe_racer_report(const std::vector<std::string>& args,
+                       obs::MetricsRegistry* metrics) {
+  if (!has_switch(args, "racer-report")) return 0;
+  if (metrics != nullptr) obs::publish_racer_metrics(*metrics);
+  std::printf("%s", racer::format_report().c_str());
+  const lint::Report report = lint::racer_report();
+  if (!report.clean()) std::printf("%s", report.format().c_str());
+  return report.clean() ? 0 : 1;
 }
 
 /// Observability sinks requested on the command line. Null members mean
@@ -232,6 +253,9 @@ int cmd_screen(const std::vector<std::string>& args) {
   if (const int rc = maybe_lockdep_report(args, sinks.metrics.get()); rc != 0) {
     return rc;
   }
+  if (const int rc = maybe_racer_report(args, sinks.metrics.get()); rc != 0) {
+    return rc;
+  }
   if (const int rc = flush_obs(sinks); rc != 0) return rc;
 
   // Summarise with an SRQuery over the output relation.
@@ -279,6 +303,9 @@ int cmd_sweep(const std::vector<std::string>& args) {
                 r.cloud_cost_usd);
   }
   if (const int rc = maybe_lockdep_report(args, sinks.metrics.get()); rc != 0) {
+    return rc;
+  }
+  if (const int rc = maybe_racer_report(args, sinks.metrics.get()); rc != 0) {
     return rc;
   }
   return flush_obs(sinks);

@@ -20,6 +20,7 @@ std::string_view to_string(HazardKind kind) {
     case HazardKind::kPoolSelfWait: return "pool self-wait";
     case HazardKind::kWaitWhileHolding: return "wait while holding a lock";
     case HazardKind::kLongHold: return "long lock hold";
+    case HazardKind::kDuplicateClass: return "duplicate lock-class name";
   }
   return "?";
 }
@@ -30,6 +31,7 @@ std::string_view rule_id(HazardKind kind) {
     case HazardKind::kPoolSelfWait: return "LD002";
     case HazardKind::kWaitWhileHolding: return "LD003";
     case HazardKind::kLongHold: return "LD004";
+    case HazardKind::kDuplicateClass: return "LD005";
   }
   return "LD000";
 }
@@ -74,7 +76,12 @@ struct EdgeWitness {
 /// register classes during static initialisation in any order.
 struct Global {
   std::mutex mu;
+  /// (name, registration site) -> class id: instances born from one
+  /// declaration share a class; a second declaration reusing the name is
+  /// an LD005 error and gets its own class (see register_class).
   std::unordered_map<std::string, int> class_ids;
+  /// name -> site of the first registration, for LD005 attribution.
+  std::unordered_map<std::string, std::string> class_sites;
   std::vector<std::string> class_names;  // index = class id
   /// adjacency: class -> (successor class -> first witness)
   std::unordered_map<int, std::unordered_map<int, EdgeWitness>> graph;
@@ -207,14 +214,45 @@ void report_inversion(Global& g, const Held& held, int acquiring_class,
 
 }  // namespace
 
-int register_class(const char* name) {
+int register_class(const char* name, std::source_location site) {
   Global& g = global();
   std::lock_guard lock(g.mu);
-  const auto [it, inserted] =
-      g.class_ids.emplace(name == nullptr ? "<unnamed>" : name,
-                          static_cast<int>(g.class_names.size()));
-  if (inserted) g.class_names.push_back(it->first);
-  return it->second;
+  const std::string class_name = name == nullptr ? "<unnamed>" : name;
+  const std::string where =
+      site_string(site.file_name(), static_cast<int>(site.line()));
+  // Classes are keyed by (name, site): the map key folds both together so
+  // every instance constructed from one declaration (member initializer,
+  // array, loop) shares a class, while a second declaration that reuses
+  // the name gets a fresh class instead of silently merging two
+  // unrelated locks' order graphs (which would corrupt LD001 cycles).
+  const std::string key = class_name + "\x1f" + where;
+  if (const auto it = g.class_ids.find(key); it != g.class_ids.end()) {
+    return it->second;
+  }
+  const auto [site_it, first_use] = g.class_sites.emplace(class_name, where);
+  const int id = static_cast<int>(g.class_names.size());
+  g.class_ids.emplace(key, id);
+  if (first_use) {
+    g.class_names.push_back(class_name);
+    return id;
+  }
+  // Duplicate name from a different site: report and disambiguate.
+  g.class_names.push_back(class_name + "@" + where);
+  if (g.reported.insert("LD005:" + class_name + ":" + where).second) {
+    Finding f;
+    f.kind = HazardKind::kDuplicateClass;
+    f.file = site.file_name();
+    f.line = static_cast<int>(site.line());
+    f.message = "lock-class name '" + class_name +
+                "' registered from two declarations: first at " +
+                site_it->second + ", again at " + where;
+    f.details = "  each declaration gets its own order graph (the second "
+                "reports as '" + class_name + "@" + where + "') so LD001 "
+                "cycle attribution stays truthful; rename one of the "
+                "Mutexes\n";
+    record_finding(g, std::move(f));
+  }
+  return id;
 }
 
 void set_enabled(bool enabled_now) {

@@ -47,16 +47,17 @@
 
 namespace scidock::lockdep {
 
-/// Hazard classes, in rule-ID order (LD001..LD004).
+/// Hazard classes, in rule-ID order (LD001..LD005).
 enum class HazardKind {
   kLockInversion,     ///< LD001: cycle in the lock-order graph
   kPoolSelfWait,      ///< LD002: worker blocks on work in its own pool
   kWaitWhileHolding,  ///< LD003: blocking wait entered with locks held
   kLongHold,          ///< LD004: lock held past the threshold (warning)
+  kDuplicateClass,    ///< LD005: one class name registered from two sites
 };
 
 std::string_view to_string(HazardKind kind);
-/// Stable diagnostic rule ID ("LD001".."LD004").
+/// Stable diagnostic rule ID ("LD001".."LD005").
 std::string_view rule_id(HazardKind kind);
 
 /// One edge of a reported inversion cycle: `acquired` was locked at
@@ -106,7 +107,14 @@ inline constexpr int kAnonymousClass = 0;
 
 /// Find-or-create the lock class for `name`; instances sharing a name
 /// share ordering state (the kernel-lockdep "class, not instance" rule).
-int register_class(const char* name);
+/// A class is keyed by (name, registration site): every instance born
+/// from one `Mutex m{"x"}` declaration shares a class, but a *second*
+/// declaration reusing the name is rejected with an LD005 error and gets
+/// its own class — silently merging two unrelated locks' order graphs
+/// would corrupt LD001 cycle attribution. The site defaults to the
+/// declaration that invoked the Mutex constructor.
+int register_class(const char* name,
+                   std::source_location site = std::source_location::current());
 
 /// Runtime kill-switch (compiled-in builds only): bench_lockdep measures
 /// its baseline with checks off. Enabled by default.

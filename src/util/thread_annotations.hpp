@@ -27,6 +27,7 @@
 #include <mutex>
 
 #include "util/lockdep.hpp"
+#include "util/racer.hpp"
 
 #if defined(__clang__)
 #define SCIDOCK_THREAD_ANNOTATION(x) __attribute__((x))
@@ -74,36 +75,65 @@ namespace scidock {
 class SCIDOCK_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
-  explicit Mutex([[maybe_unused]] const char* name)
+  /// The defaulted source_location lands on the declaration that invokes
+  /// this constructor (the member initializer / variable definition) —
+  /// lockdep keys lock classes on (name, site) so a second declaration
+  /// reusing a name is an LD005 error, and racer names its
+  /// release→acquire edges after the same string.
 #if SCIDOCK_LOCKDEP_ENABLED
-      : class_id_(lockdep::register_class(name))
-#endif
-  {
+  explicit Mutex(const char* name,
+                 std::source_location site = std::source_location::current())
+      : class_id_(lockdep::register_class(name, site)) {
+    racer::register_sync(this, name);
   }
+#else
+  explicit Mutex([[maybe_unused]] const char* name) {
+    racer::register_sync(this, name);
+  }
+#endif
+  ~Mutex() { racer::unregister_sync(this); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+  // Racer hooks sit *inside* the critical section (acquire: after the
+  // lock lands; release: before it drops) so the vector-clock transfer
+  // through the lock's release clock is itself race-free.
 #if SCIDOCK_LOCKDEP_ENABLED
   void lock(std::source_location site = std::source_location::current())
       SCIDOCK_ACQUIRE() {
     lockdep::on_acquire(class_id_, this, site);  // before: edge + cycle check
     m_.lock();
+    racer::on_mutex_acquire(this);
   }
   void unlock() SCIDOCK_RELEASE() {
     lockdep::on_release(this);
+    racer::on_mutex_release(this);
     m_.unlock();
   }
   bool try_lock(std::source_location site = std::source_location::current())
       SCIDOCK_TRY_ACQUIRE(true) {
     const bool acquired = m_.try_lock();
-    if (acquired) lockdep::on_try_acquired(class_id_, this, site);
+    if (acquired) {
+      lockdep::on_try_acquired(class_id_, this, site);
+      racer::on_mutex_acquire(this);
+    }
     return acquired;
   }
   int lockdep_class_id() const { return class_id_; }
 #else
-  void lock() SCIDOCK_ACQUIRE() { m_.lock(); }
-  void unlock() SCIDOCK_RELEASE() { m_.unlock(); }
-  bool try_lock() SCIDOCK_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() SCIDOCK_ACQUIRE() {
+    m_.lock();
+    racer::on_mutex_acquire(this);
+  }
+  void unlock() SCIDOCK_RELEASE() {
+    racer::on_mutex_release(this);
+    m_.unlock();
+  }
+  bool try_lock() SCIDOCK_TRY_ACQUIRE(true) {
+    const bool acquired = m_.try_lock();
+    if (acquired) racer::on_mutex_acquire(this);
+    return acquired;
+  }
 #endif
 
  private:

@@ -63,20 +63,28 @@ void ThreadPool::parallel_for(std::size_t n,
 #endif
   grain = std::max<std::size_t>(grain, 1);
   std::vector<std::future<void>> futures;
+  std::vector<racer::TaskEdge> edges;
   futures.reserve((n + grain - 1) / grain);
+  edges.reserve(futures.capacity());
   for (std::size_t begin = 0; begin < n; begin += grain) {
     const std::size_t end = std::min(begin + grain, n);
-    futures.push_back(submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+    edges.push_back(racer::on_task_spawn());
+    futures.push_back(submit_with_edge(
+        [&fn, begin, end] {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        },
+        edges.back()));
   }
   std::exception_ptr first_error;
-  for (auto& f : futures) {
+  for (std::size_t i = 0; i < futures.size(); ++i) {
     try {
-      f.get();
+      futures[i].get();
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }
+    // The chunk's writes happen-before everything after this join — the
+    // edge that makes the caller's post-loop reads race-free.
+    racer::on_task_join(edges[i]);
   }
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -59,6 +59,16 @@ class ThreadPool {
   /// Enqueue a task; the future reports its result or exception.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    return submit_with_edge(std::forward<F>(fn), racer::on_task_spawn());
+  }
+
+  /// submit() with a caller-held racer fork token: the racer analyzer
+  /// sees submit→run as a happens-before edge automatically, but only
+  /// the holder of the edge can record the run→join edge after
+  /// future.get() (parallel_for does; see racer::on_task_join).
+  template <typename F>
+  auto submit_with_edge(F&& fn, racer::TaskEdge edge)
+      -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     TaskHook hook;
     StatsHook stats;
@@ -70,7 +80,12 @@ class ThreadPool {
     const auto enqueued_at = std::chrono::steady_clock::now();
     auto task = std::make_shared<std::packaged_task<R()>>(
         [hook = std::move(hook), finished = std::move(stats.finished),
-         enqueued_at, fn = std::forward<F>(fn)]() mutable -> R {
+         enqueued_at, edge = std::move(edge),
+         fn = std::forward<F>(fn)]() mutable -> R {
+          // TaskRun joins this worker's clock with the spawner's fork
+          // snapshot on entry and publishes the finish snapshot on exit
+          // (its destructor runs before the future becomes ready).
+          racer::TaskRun racer_run(edge);
           TaskTimer timer{std::move(finished), enqueued_at,
                           std::chrono::steady_clock::now()};
           if (hook) hook();

@@ -58,6 +58,13 @@ NativeReport NativeExecutor::run(const Relation& input,
   NativeReport report;
   Mutex report_mutex{"wf.native.report"};
   std::vector<std::vector<Tuple>> final_tuples(input.size());
+  // Shadow-track the aggregation state: `report` must only be touched
+  // under report_mutex while tasks run; each final_tuples bucket is
+  // written by exactly one task and read after the parallel_for join.
+  SCIDOCK_RACER_TRACK(report, "wf.native.report");
+  for (auto& bucket : final_tuples) {
+    SCIDOCK_RACER_TRACK(bucket, "wf.native.final_tuples");
+  }
 
   Rng root_rng(options_.seed);
 
@@ -117,6 +124,7 @@ NativeReport NativeExecutor::run(const Relation& input,
               last_error = "injected hang at " + st.tag + " (watchdog abort)";
               {
                 MutexLock lock(report_mutex);
+                SCIDOCK_RACER_WRITE(report);
                 ++report.activations_hung;
               }
               if (counters.aborted != nullptr) counters.aborted->inc();
@@ -130,6 +138,7 @@ NativeReport NativeExecutor::run(const Relation& input,
               last_error = "injected failure at " + st.tag;
               {
                 MutexLock lock(report_mutex);
+                SCIDOCK_RACER_WRITE(report);
                 ++report.activations_failed;
               }
               if (counters.failed != nullptr) counters.failed->inc();
@@ -145,6 +154,7 @@ NativeReport NativeExecutor::run(const Relation& input,
             const double elapsed = wall_now() - t0 - start;
             {
               MutexLock lock(report_mutex);
+              SCIDOCK_RACER_WRITE(report);
               ++report.activations_finished;
               report.per_activity_seconds[st.tag].add(elapsed);
             }
@@ -162,6 +172,7 @@ NativeReport NativeExecutor::run(const Relation& input,
             last_error = e.what();
             {
               MutexLock lock(report_mutex);
+              SCIDOCK_RACER_WRITE(report);
               ++report.activations_failed;
             }
             if (counters.failed != nullptr) counters.failed->inc();
@@ -172,6 +183,7 @@ NativeReport NativeExecutor::run(const Relation& input,
         if (!done) {
           if (counters.tuples_lost != nullptr) counters.tuples_lost->inc();
           MutexLock lock(report_mutex);
+          SCIDOCK_RACER_WRITE(report);
           ++report.tuples_lost;
           report.failure_messages.push_back(last_error);
           SCIDOCK_LOG_WARN("tuple %zu lost at stage %s: %s", tuple_idx,
@@ -191,6 +203,7 @@ NativeReport NativeExecutor::run(const Relation& input,
       if (counters.tuples_completed != nullptr) {
         counters.tuples_completed->inc();
       }
+      SCIDOCK_RACER_WRITE(final_tuples[tuple_idx]);
       final_tuples[tuple_idx] = std::move(frontier);
     }
   };
@@ -216,6 +229,7 @@ NativeReport NativeExecutor::run(const Relation& input,
   }
   report.output = Relation(fields);
   for (auto& bucket : final_tuples) {
+    SCIDOCK_RACER_READ(bucket);
     for (Tuple& t : bucket) {
       Tuple projected;
       bool complete = true;
@@ -243,6 +257,8 @@ NativeReport NativeExecutor::run(const Relation& input,
 
   report.wall_seconds = wall_now() - t0;
   prov_.end_workflow(wkfid, report.wall_seconds);
+  for (auto& bucket : final_tuples) SCIDOCK_RACER_UNTRACK(bucket);
+  SCIDOCK_RACER_UNTRACK(report);
   return report;
 }
 

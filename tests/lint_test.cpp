@@ -124,10 +124,10 @@ TEST(LintFixtures, CatalogCoversEveryFixtureRule) {
   // Every rule in the catalog is exercised above; conversely every rule ID
   // used by the fixtures exists in the catalog.
   const std::vector<RuleInfo>& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 22u);
+  EXPECT_EQ(catalog.size(), 27u);
   for (const RuleInfo& rule : catalog) {
     EXPECT_TRUE(rule.id.rfind("WF", 0) == 0 || rule.id.rfind("SQL", 0) == 0 ||
-                rule.id.rfind("LD", 0) == 0)
+                rule.id.rfind("LD", 0) == 0 || rule.id.rfind("RC", 0) == 0)
         << rule.id;
     EXPECT_FALSE(rule.summary.empty()) << rule.id;
   }

@@ -38,8 +38,11 @@ TEST(LockdepRules, StableRuleIds) {
   EXPECT_EQ(lockdep::rule_id(lockdep::HazardKind::kPoolSelfWait), "LD002");
   EXPECT_EQ(lockdep::rule_id(lockdep::HazardKind::kWaitWhileHolding), "LD003");
   EXPECT_EQ(lockdep::rule_id(lockdep::HazardKind::kLongHold), "LD004");
+  EXPECT_EQ(lockdep::rule_id(lockdep::HazardKind::kDuplicateClass), "LD005");
   EXPECT_EQ(lockdep::to_string(lockdep::HazardKind::kLockInversion),
             "lock-order inversion");
+  EXPECT_EQ(lockdep::to_string(lockdep::HazardKind::kDuplicateClass),
+            "duplicate lock-class name");
 }
 
 // ---------------------------------------------------------------------------
@@ -586,6 +589,70 @@ TEST_F(LockdepTest, ResetClearsFindingsAndGraph) {
     MutexLock la(a);
   }
   EXPECT_TRUE(lockdep::clean()) << lockdep::format_report();
+#endif
+}
+
+// Regression: two Mutex declarations reusing one name used to merge
+// silently into a single lock class, corrupting LD001 cycle attribution
+// (an inversion between the two impostors looked like self-order noise).
+// Now the second declaration gets its own class plus an LD005 error
+// naming both sites.
+TEST_F(LockdepTest, DuplicateClassNameIsRejectedAcrossDeclarations) {
+#if SCIDOCK_LOCKDEP_ENABLED
+  const int first_line = __LINE__ + 1;
+  Mutex a{"test.ld005.dup"};
+  EXPECT_TRUE(lockdep::clean());
+  const int second_line = __LINE__ + 1;
+  Mutex b{"test.ld005.dup"};
+
+  const auto finding = first_finding(lockdep::HazardKind::kDuplicateClass);
+  ASSERT_TRUE(finding.has_value()) << lockdep::format_report();
+  EXPECT_TRUE(finding->is_error);
+  EXPECT_NE(finding->message.find("test.ld005.dup"), std::string::npos)
+      << finding->message;
+  // Both declaration sites appear, file:line each.
+  EXPECT_NE(finding->message.find("lockdep_test.cpp:" +
+                                  std::to_string(first_line)),
+            std::string::npos)
+      << finding->message;
+  EXPECT_NE(finding->message.find("lockdep_test.cpp:" +
+                                  std::to_string(second_line)),
+            std::string::npos)
+      << finding->message;
+  EXPECT_EQ(finding->line, second_line);
+
+  // The impostors are distinct classes now, so an inversion between
+  // them is *detected* (the merged class used to swallow it as an
+  // ignored self-edge) and the cycle names the disambiguated class.
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+  const auto inversion = first_finding(lockdep::HazardKind::kLockInversion);
+  ASSERT_TRUE(inversion.has_value()) << lockdep::format_report();
+  EXPECT_NE(inversion->details.find("test.ld005.dup@"), std::string::npos)
+      << inversion->details;
+
+  // And the bridge speaks LD005.
+  const lint::Report report = lint::lockdep_report();
+  EXPECT_TRUE(report.has("LD005")) << report.format();
+#endif
+}
+
+TEST_F(LockdepTest, SameDeclarationInstancesShareOneClass) {
+#if SCIDOCK_LOCKDEP_ENABLED
+  // Arrays / loops construct many Mutexes from one declaration; they
+  // must share a class with no LD005.
+  for (int i = 0; i < 3; ++i) {
+    Mutex m{"test.ld005.loop"};
+    MutexLock lock(m);
+  }
+  EXPECT_EQ(lockdep::finding_count(lockdep::HazardKind::kDuplicateClass), 0u)
+      << lockdep::format_report();
 #endif
 }
 

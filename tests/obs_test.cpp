@@ -462,6 +462,7 @@ TEST(Reconciliation, SimCountersMatchProvenanceAcrossSeeds) {
     checker.check_conservation(summary);
     checker.check_metrics(summary, metrics, store, "obs-sim");
     checker.check_lockdep();
+    checker.check_racer();
     ASSERT_TRUE(checker.ok()) << "seed=" << seed << "\n"
                               << checker.to_string();
     faults_seen += report.activations_failed + report.activations_hung;
@@ -499,6 +500,7 @@ TEST(Reconciliation, NativeCountersMatchProvenanceAcrossSeeds) {
     checker.check_conservation(summary);
     checker.check_metrics(summary, metrics, store, "obs-native");
     checker.check_lockdep();
+    checker.check_racer();
     ASSERT_TRUE(checker.ok()) << "seed=" << seed << " threads=" << opts.threads
                               << "\n"
                               << checker.to_string();

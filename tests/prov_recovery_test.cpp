@@ -174,6 +174,7 @@ void run_kill_case(const KillCase& c) {
     chaos::InvariantChecker checker;
     EXPECT_TRUE(checker.check_recovery(recovered)) << checker.to_string();
     EXPECT_TRUE(checker.check_lockdep()) << checker.to_string();
+    EXPECT_TRUE(checker.check_racer()) << checker.to_string();
     if (!crashed && !clean_digest.empty()) {
       EXPECT_EQ(recovered.content_digest(), clean_digest)
           << "clean shutdown must replay byte-identically";
